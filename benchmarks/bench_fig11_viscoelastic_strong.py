@@ -1,0 +1,40 @@
+"""Figure 11: strong scaling of the **viscoelastic** kernel (SDO 8).
+
+CPU: Tables XV-XVIII (1..128 Archer2 nodes, three patterns).
+GPU: Tables XXXI-XXXIV (1..128 A100-80s, basic).
+Prints model-vs-paper rows; asserts the paper's qualitative findings.
+"""
+
+import pytest
+
+from repro.perfmodel import (cpu_strong_rows, format_table,
+                             gpu_strong_rows, paper_data as pd)
+
+KERNEL = 'viscoelastic'
+
+
+def test_fig11_cpu_strong(benchmark):
+    rows = benchmark(cpu_strong_rows, KERNEL, 8)
+    print()
+    print(format_table(rows))
+    base = max(rows['model'][m][0] for m in rows['model'])
+    best = max(rows['model'][m][-1] for m in rows['model'])
+    eff = best / (base * 128)
+    paper_eff = pd.HEADLINE_EFFICIENCY[(KERNEL, 'cpu')]
+    assert eff == pytest.approx(paper_eff, abs=0.12)
+
+
+def test_fig11_gpu_strong(benchmark):
+    rows = benchmark(gpu_strong_rows, KERNEL, 8)
+    print()
+    print(format_table(rows))
+    t = rows['model']['basic']
+    eff = t[-1] / (t[0] * 128)
+    paper_eff = pd.HEADLINE_EFFICIENCY[(KERNEL, 'gpu')]
+    assert eff == pytest.approx(paper_eff, abs=0.12)
+
+
+def test_fig11_gpu_beats_cpu_at_low_counts():
+    cpu = cpu_strong_rows(KERNEL, 8)['model']
+    gpu = gpu_strong_rows(KERNEL, 8)['model']['basic']
+    assert gpu[0] > max(cpu[m][0] for m in cpu)

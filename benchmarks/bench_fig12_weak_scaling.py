@@ -1,0 +1,60 @@
+"""Figures 12 and 21-24: MPI-X weak scaling (runtime per timestep).
+
+Fixed 256^3 points per node/GPU; the global grid doubles one dimension
+at a time (512x256x256 on 2 units ... 2048x1024x1024 on 128).  The
+paper's claims: nearly constant runtime, and GPUs consistently ~4x
+faster than CPUs for the same number of processed points.
+"""
+
+import pytest
+
+from repro.perfmodel import paper_data as pd, weak_scaling_table
+
+NODES = pd.NODES
+
+
+def _print_weak(kernel, so, cpu, gpu):
+    print()
+    print('### Fig. 12/21-24 weak scaling — %s so-%02d '
+          '(runtime s/timestep, 256^3 per unit)' % (kernel, so))
+    print('| series | ' + ' | '.join(str(n) for n in NODES) + ' |')
+    print('|---' * (len(NODES) + 1) + '|')
+    for mode, values in cpu.items():
+        print('| CPU %s | %s |' % (mode, ' | '.join('%.4f' % v
+                                                    for v in values)))
+    print('| GPU basic | %s |' % ' | '.join('%.4f' % v
+                                            for v in gpu['basic']))
+    ratios = [c / g for c, g in zip(cpu['basic'], gpu['basic'])]
+    print('| CPU/GPU ratio | %s |' % ' | '.join('%.1fx' % r
+                                                for r in ratios))
+
+
+@pytest.mark.parametrize('kernel', pd.KERNELS)
+def test_fig12_weak_scaling_so8(benchmark, kernel):
+    cpu = benchmark(weak_scaling_table, kernel, 8)
+    gpu = weak_scaling_table(kernel, 8, gpu=True, modes=('basic',))
+    _print_weak(kernel, 8, cpu, gpu)
+    # nearly constant runtime (Section IV-E)
+    assert max(cpu['basic']) / min(cpu['basic']) < 1.45
+    # GPUs substantially faster at like-for-like point counts
+    assert cpu['basic'][0] / gpu['basic'][0] > 3.0
+
+
+@pytest.mark.parametrize('so', [4, 12, 16])
+@pytest.mark.parametrize('kernel', pd.KERNELS)
+def test_figs21_24_weak_scaling_sdo_sweep(kernel, so):
+    cpu = weak_scaling_table(kernel, so)
+    gpu = weak_scaling_table(kernel, so, gpu=True, modes=('basic',))
+    _print_weak(kernel, so, cpu, gpu)
+    assert max(cpu['basic']) / min(cpu['basic']) < 1.6
+
+
+def test_full_mode_consistency_with_strong_scaling():
+    """Section IV-E: 'full mode performs better (in weak scaling) when it
+    is superior for one node' — the core-to-remainder ratio is scale
+    invariant under weak scaling."""
+    for kernel in pd.KERNELS:
+        t = weak_scaling_table(kernel, 8)
+        rel = [f / b for f, b in zip(t['full'], t['basic'])]
+        # the full/basic ratio stays within a narrow band across scale
+        assert max(rel[1:]) / min(rel[1:]) < 1.3, kernel

@@ -1,0 +1,59 @@
+"""Real multi-rank execution of the three communication patterns.
+
+Runs the acoustic kernel on 2/4 simulated ranks under basic, diagonal
+and full and times whole runs — exercising the actual generated
+communication schedules (message batches, begin/wait overlap structure)
+rather than the analytic model.  Message-count assertions mirror
+Table I.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Eq, Grid, Operator, TimeFunction, solve
+from repro.mpi import run_parallel
+
+MODES = ('basic', 'diagonal', 'full')
+
+
+def _job(comm, mode, shape=(64, 64), steps=8, so=8):
+    grid = Grid(shape=shape, comm=comm)
+    u = TimeFunction(name='u', grid=grid, space_order=so)
+    u.data[0, shape[0] // 2, shape[1] // 2] = 1.0
+    eq = Eq(u.dt, u.laplace)
+    op = Operator([Eq(u.forward, solve(eq, u.forward))], mpi=mode)
+    op.apply(time_M=steps - 1, dt=0.05)
+    msgs = sum(ex.nmessages for ex in op.exchangers.values())
+    return u.data.gather(), msgs
+
+
+@pytest.mark.parametrize('mode', MODES)
+@pytest.mark.parametrize('ranks', [2, 4])
+def test_pattern_execution(benchmark, mode, ranks):
+    def run():
+        return run_parallel(lambda c: _job(c, mode), ranks)
+
+    out = benchmark(run)
+    fields = [o[0] for o in out]
+    assert all(np.array_equal(f, fields[0]) for f in fields)
+    assert np.isfinite(fields[0]).all()
+
+
+def test_patterns_agree_bitwise():
+    results = {}
+    for mode in MODES:
+        out = run_parallel(lambda c: _job(c, mode), 4)
+        results[mode] = out[0][0]
+    assert np.array_equal(results['basic'], results['diagonal'])
+    assert np.array_equal(results['basic'], results['full'])
+
+
+def test_message_count_ordering():
+    """diagonal/full issue the Moore-neighborhood message set; basic only
+    faces — per timestep per interior rank: 8 vs 4 in 2D (Table I)."""
+    counts = {}
+    for mode in MODES:
+        out = run_parallel(lambda c: _job(c, mode, steps=1), 4)
+        counts[mode] = out[0][1]
+    assert counts['diagonal'] > counts['basic']
+    assert counts['full'] == counts['diagonal']

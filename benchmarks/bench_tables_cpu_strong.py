@@ -1,0 +1,65 @@
+"""Appendix Tables III-XVIII / Figures 13-16: CPU strong scaling for all
+four kernels at SDOs 4, 8, 12, 16 (three patterns each).
+
+Prints every table with the paper's rows alongside and asserts the
+aggregate fidelity metrics plus per-SDO qualitative trends.
+"""
+
+import pytest
+
+from repro.perfmodel import (cpu_strong_rows, format_table,
+                             paper_data as pd, shape_metrics)
+
+
+@pytest.mark.parametrize('so', pd.SDOS)
+@pytest.mark.parametrize('kernel', pd.KERNELS)
+def test_cpu_strong_table(kernel, so):
+    rows = cpu_strong_rows(kernel, so)
+    print()
+    print(format_table(rows))
+    paper = rows['paper']
+    model = rows['model']
+    for mode in ('basic', 'diag', 'full'):
+        for mv, pv in zip(model[mode], paper[mode]):
+            if pv is not None:
+                assert 0.5 < mv / pv < 2.0, (kernel, so, mode)
+
+
+def test_aggregate_shape_metrics(benchmark):
+    metrics = benchmark(shape_metrics)
+    print()
+    print('### Reproduction fidelity vs the paper')
+    for k, v in metrics.items():
+        print('- %s: %s' % (k, round(v, 4) if isinstance(v, float) else v))
+    assert metrics['cpu_mean_rel_err'] < 0.25
+    assert metrics['winner_agreement'] > 0.75
+
+
+def test_throughput_decreases_with_sdo():
+    """Across every kernel, higher SDO lowers single-node throughput
+    (more flops and wider stencils per point)."""
+    for kernel in pd.KERNELS:
+        bases = [cpu_strong_rows(kernel, so)['model']['basic'][0]
+                 for so in pd.SDOS]
+        assert all(b >= a * 0.95 for a, b in zip(bases[1:], bases[:-1]))
+
+
+def test_diag_advantage_grows_with_sdo():
+    """Figures 13-16: diagonal gains on basic as SDO (message volume)
+    grows, at mid scale."""
+    i32 = pd.NODES.index(32)
+    rel = {}
+    for so in (4, 16):
+        rows = cpu_strong_rows('elastic', so)['model']
+        rel[so] = rows['diag'][i32] / rows['basic'][i32]
+    assert rel[16] > rel[4]
+
+
+def test_full_mode_relative_decay_with_sdo():
+    """Section IV-F: higher SDO lowers the core-to-remainder ratio, so
+    full loses ground as SDO grows."""
+    rel = {}
+    for so in (4, 16):
+        rows = cpu_strong_rows('viscoelastic', so)['model']
+        rel[so] = rows['full'][-1] / rows['diag'][-1]
+    assert rel[16] < rel[4] + 0.05

@@ -1,0 +1,56 @@
+"""Appendix Tables XIX-XXXIV / Figures 17-20: GPU strong scaling for all
+four kernels at SDOs 4, 8, 12, 16 (basic pattern, 1..128 A100-80s)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (format_table, gpu_strong_rows,
+                             paper_data as pd)
+
+
+@pytest.mark.parametrize('so', pd.SDOS)
+@pytest.mark.parametrize('kernel', pd.KERNELS)
+def test_gpu_strong_table(kernel, so):
+    rows = gpu_strong_rows(kernel, so)
+    print()
+    print(format_table(rows))
+    for mv, pv in zip(rows['model']['basic'], rows['paper']['basic']):
+        assert 0.45 < mv / pv < 2.2, (kernel, so)
+
+
+def test_gpu_aggregate_error(benchmark):
+    def compute():
+        errs = []
+        for kernel in pd.KERNELS:
+            for so in pd.SDOS:
+                rows = gpu_strong_rows(kernel, so)
+                errs += [abs(m - p) / p for m, p in
+                         zip(rows['model']['basic'],
+                             rows['paper']['basic'])]
+        return float(np.mean(errs))
+
+    err = benchmark(compute)
+    print('\nGPU mean relative error vs paper: %.3f' % err)
+    assert err < 0.25
+
+
+def test_efficiency_knee_at_four_gpus():
+    """Figures 17-20: 'a decrease in efficiency after 4 GPUs' — NVLink
+    gives way to InfiniBand."""
+    for kernel in ('elastic', 'viscoelastic'):
+        t = gpu_strong_rows(kernel, 8)['model']['basic']
+        eff = [t[i] / (pd.NODES[i] * t[0]) for i in range(len(t))]
+        i4, i8 = pd.NODES.index(4), pd.NODES.index(8)
+        drop_before = eff[0] - eff[i4]
+        drop_after = eff[i4] - eff[i8]
+        assert drop_after > drop_before, kernel
+
+
+def test_acoustic_gpu_vs_cpu_headline():
+    """Section IV-D: at 128 units, acoustic reaches ~1470 GPts/s on GPUs
+    vs ~1050 on CPUs (GPU 1.4-1.6x)."""
+    from repro.perfmodel import cpu_strong_rows
+    gpu = gpu_strong_rows('acoustic', 8)['model']['basic'][-1]
+    cpu_rows = cpu_strong_rows('acoustic', 8)['model']
+    cpu = max(cpu_rows[m][-1] for m in cpu_rows)
+    assert 1.1 < gpu / cpu < 2.2

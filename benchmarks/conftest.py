@@ -1,0 +1,26 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or figures
+and prints the same rows/series the paper reports (model vs paper where
+the paper published numbers).  Absolute values come from the calibrated
+analytic model — the substrate here is a simulator, not Archer2/Tursa —
+but the *shape* (winners, crossovers, efficiency bands) is asserted.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), '..', 'src'))
+
+import pytest  # noqa: E402
+
+
+def print_rows(rows, metric='GPts/s'):
+    from repro.perfmodel import format_table
+    print()
+    print(format_table(rows, metric=metric))
+
+
+@pytest.fixture(scope='session')
+def capsys_disabled(pytestconfig):
+    return pytestconfig.getoption('capture') == 'no'

@@ -1,0 +1,5 @@
+"""Ensure the in-tree package is importable when running pytest uninstalled."""
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), 'src'))

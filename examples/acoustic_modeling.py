@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Seismic shot modeling with the isotropic acoustic propagator.
+
+The paper's motivating workload (FWI/RTM forward modeling): a Ricker
+source injected into a two-layer velocity model, absorbing boundaries,
+and a line of receivers producing a shot record — run serially and then
+on 4 simulated MPI ranks under each communication pattern, verifying
+bitwise-identical wavefields.
+
+Run:  python examples/acoustic_modeling.py
+"""
+
+import numpy as np
+
+from repro.mpi import run_parallel
+from repro.models import acoustic_setup
+
+
+def ascii_wavefield(field, width=64, height=24):
+    """Coarse ASCII rendering of a 2D wavefield."""
+    f = np.asarray(field, dtype=np.float64)
+    ys = np.linspace(0, f.shape[0] - 1, height).astype(int)
+    xs = np.linspace(0, f.shape[1] - 1, width).astype(int)
+    sub = f[np.ix_(ys, xs)]
+    scale = np.abs(sub).max() or 1.0
+    chars = ' .:-=+*#%@'
+    out = []
+    for row in sub:
+        out.append(''.join(chars[min(int(abs(v) / scale * 9.999), 9)]
+                           for v in row))
+    return '\n'.join(out)
+
+
+def run_shot(comm=None, mpi=None):
+    solver, time_range = acoustic_setup(
+        shape=(101, 101), spacing=(10., 10.), tn=450.0, space_order=8,
+        nbl=20, vp=1.5, f0=0.015, comm=comm, mpi=mpi, nrec=64)
+    rec, u, summary = solver.forward()
+    return u.data.gather(), np.array(rec), summary
+
+
+def main():
+    print("=== serial shot ===")
+    field, rec, summary = run_shot()
+    nt = field.shape[0]
+    snap = field[0]
+    print("wavefield snapshot (|u|, final buffer):")
+    print(ascii_wavefield(snap))
+    print("\nshot record (receivers x time, |d|):")
+    print(ascii_wavefield(rec.T))
+    print("\nthroughput: %.4f GPts/s, %.1f MFlops/s, OI=%.2f"
+          % (summary.gpointss, summary.gflopss * 1e3, summary.oi))
+
+    for mode in ('basic', 'diagonal', 'full'):
+        out = run_parallel(lambda c: run_shot(c, mode), 4)
+        same = all(np.array_equal(o[0], field) for o in out)
+        rec_ok = all(np.allclose(o[1], rec, rtol=1e-4, atol=1e-5)
+                     for o in out)
+        print("4 ranks, %-8s: wavefield identical=%s, receivers match=%s"
+              % (mode, same, rec_ok))
+
+
+if __name__ == '__main__':
+    main()

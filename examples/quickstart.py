@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Listing 1, serial and distributed.
+
+A 2D heat-diffusion operator defined in symbolic math, JIT-compiled, and
+run (a) serially and (b) SPMD over 4 simulated MPI ranks with automated
+halo exchanges — with zero changes to the numerical code, reproducing
+the paper's Listings 1-3 exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Eq, Grid, Operator, TimeFunction, solve
+from repro.mpi import parallel
+
+
+def diffusion(comm=None, mpi=None, verbose=False):
+    # -- Listing 1 -----------------------------------------------------------
+    nx, ny = 4, 4
+    nu = .5
+    dx, dy = 2. / (nx - 1), 2. / (ny - 1)
+    sigma = .25
+    dt = sigma * dx * dy / nu
+
+    # Define the structured grid and its size
+    grid = Grid(shape=(nx, ny), extent=(2., 2.), comm=comm)
+    # Define a symbol u(t, x, y) encapsulating space- and time-varying
+    # data, and initialize its data (global indexing, any decomposition)
+    u = TimeFunction(name="u", grid=grid, space_order=2)
+    u.data[0, 1:-1, 1:-1] = 1
+
+    if verbose and comm is not None:
+        print("[rank %d] local view after the global write:\n%s"
+              % (comm.rank, np.array(u.data[0])))
+
+    # Define the equations to be solved
+    eq = Eq(u.dt, u.laplace)
+    stencil = solve(eq, u.forward)
+    eq_stencil = Eq(u.forward, stencil)
+    # Generate code using the compiler (C inspectable via op.ccode)
+    op = Operator([eq_stencil], mpi=mpi)
+    # JIT-compile and run
+    op.apply(time_M=1, dt=dt)
+
+    if verbose and comm is not None:
+        print("[rank %d] local view after the Operator:\n%s"
+              % (comm.rank, np.array(u.data[0])))
+    return u.data.gather()
+
+
+def main():
+    print("=== serial run ===")
+    serial = diffusion()
+    print(serial)
+
+    print("\n=== the generated C (Listing 11) ===")
+    grid = Grid(shape=(4, 4), extent=(2., 2.))
+    u = TimeFunction(name="u", grid=grid, space_order=2)
+    op = Operator([Eq(u.forward, solve(Eq(u.dt, u.laplace), u.forward))])
+    print(op.ccode)
+
+    print("=== 4-rank DMP run (basic pattern) ===")
+    results = parallel(ranks=4)(
+        lambda comm: diffusion(comm, mpi='basic', verbose=True))()
+    assert all(np.array_equal(r, serial) for r in results)
+    print("\nDMP result identical to serial:", True)
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate the paper's scaling evaluation (Figures 8-12, all tables).
+
+Prints model-vs-paper strong-scaling tables for every kernel and SDO,
+the weak-scaling series, the roofline positions, and the aggregate
+fidelity metrics — the same harness the benchmark suite asserts on.
+
+Run:  python examples/scaling_study.py [--quick]
+"""
+
+import sys
+
+from repro.perfmodel import (cpu_strong_rows, format_table,
+                             gpu_strong_rows, paper_data as pd,
+                             roofline_points, shape_metrics,
+                             weak_scaling_table)
+
+
+def main(quick=False):
+    sdos = (8,) if quick else pd.SDOS
+
+    print('# Strong scaling (CPU, Archer2 model) — Figures 8-11, '
+          'Tables III-XVIII\n')
+    for kernel in pd.KERNELS:
+        for so in sdos:
+            print(format_table(cpu_strong_rows(kernel, so)))
+            print()
+
+    print('# Strong scaling (GPU, Tursa model) — Figures 17-20, '
+          'Tables XIX-XXXIV\n')
+    for kernel in pd.KERNELS:
+        for so in sdos:
+            print(format_table(gpu_strong_rows(kernel, so)))
+            print()
+
+    print('# Weak scaling (Figure 12) — runtime s/timestep, 256^3/unit\n')
+    for kernel in pd.KERNELS:
+        cpu = weak_scaling_table(kernel, 8)['basic']
+        gpu = weak_scaling_table(kernel, 8, gpu=True,
+                                 modes=('basic',))['basic']
+        print('%-13s CPU: %s' % (kernel,
+                                 ' '.join('%.4f' % t for t in cpu)))
+        print('%-13s GPU: %s  (CPU/GPU %.1fx..%.1fx)'
+              % ('', ' '.join('%.4f' % t for t in gpu),
+                 cpu[0] / gpu[0], cpu[-1] / gpu[-1]))
+    print()
+
+    print('# Roofline (Figure 7)\n')
+    for gpu in (False, True):
+        label = 'A100-80' if gpu else 'Archer2 node'
+        print('## %s' % label)
+        for kernel, info in roofline_points(gpu=gpu).items():
+            print('  %-13s OI=%5.1f  %7.0f GF/s  (%.0f%% of roof, %s)'
+                  % (kernel, info['oi'], info['gflops'],
+                     100 * info['fraction_of_roof'],
+                     'DRAM-bound' if info['dram_bound'] else
+                     'compute-bound'))
+    print()
+
+    print('# Aggregate fidelity vs the paper\n')
+    for k, v in shape_metrics().items():
+        print('  %-22s %s' % (k, round(v, 4) if isinstance(v, float)
+                              else v))
+
+
+if __name__ == '__main__':
+    main(quick='--quick' in sys.argv)

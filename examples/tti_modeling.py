@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Anisotropic (TTI) modeling: the rotated-Laplacian kernel.
+
+Shows the industrially relevant tilted-transversely-isotropic propagator:
+trigonometric coefficient fields, nested rotated first derivatives
+(Figure 6b's wide-plane stencil), and the far higher operational
+intensity the paper's evaluation builds on.
+
+Run:  python examples/tti_modeling.py
+"""
+
+import numpy as np
+
+from repro.models import acoustic_setup, tti_setup
+
+
+def main():
+    print("=== TTI forward modeling ===")
+    solver, tr = tti_setup(shape=(61, 61), spacing=(10., 10.), tn=250.0,
+                           space_order=8, nbl=12, epsilon=0.2, delta=0.1,
+                           theta=np.pi / 5, nrec=32)
+    rec, p, q, summary = solver.forward()
+    print("coupled fields p/q propagated %d steps" % tr.num)
+    print("throughput: %.4f GPts/s" % summary.gpointss)
+
+    print("\n=== kernel character vs isotropic acoustic (SDO 8) ===")
+    ac, _ = acoustic_setup(shape=(32, 32), tn=20.0, space_order=8, nbl=6)
+    print("%-10s flops/pt=%5d bytes/pt=%3d OI=%6.1f"
+          % ('acoustic', ac.op.flops_per_point, ac.op.traffic_per_point,
+             ac.op.oi))
+    print("%-10s flops/pt=%5d bytes/pt=%3d OI=%6.1f"
+          % ('tti', solver.op.flops_per_point,
+             solver.op.traffic_per_point, solver.op.oi))
+    ratio = solver.op.oi / ac.op.oi
+    print("TTI operational intensity is %.0fx the acoustic star stencil"
+          % ratio)
+
+    print("\n=== anisotropy effect ===")
+    iso, _ = tti_setup(shape=(61, 61), spacing=(10., 10.), tn=250.0,
+                       space_order=8, nbl=12, epsilon=0.0, delta=0.0,
+                       theta=0.0, nrec=32)
+    rec0, p0, _, _ = iso.forward()
+    diff = np.abs(np.array(p.data[0]) - np.array(p0.data[0])).max()
+    print("max |p_tti - p_iso| = %.3e (anisotropy reshapes the "
+          "wavefront)" % diff)
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,51 @@
+"""repro: reproduction of "Automated MPI-X Code Generation for Scalable
+Finite-Difference Solvers" (IPDPS 2025).
+
+A Devito-style symbolic finite-difference DSL and JIT compiler with
+automated distributed-memory parallelism over a simulated MPI substrate,
+plus the paper's four seismic wave propagators and a calibrated
+performance model regenerating its scaling evaluation.
+
+Quickstart (the paper's Listing 1)::
+
+    from repro import Grid, TimeFunction, Eq, Operator, solve
+
+    grid = Grid(shape=(4, 4), extent=(2., 2.))
+    u = TimeFunction(name='u', grid=grid, space_order=2)
+    u.data[1:-1, 1:-1] = 1
+    eq = Eq(u.dt, u.laplace)
+    stencil = solve(eq, u.forward)
+    op = Operator([Eq(u.forward, stencil)])
+    op.apply(time_M=1, dt=0.01)
+"""
+
+#: global defaults, mirroring Devito's DEVITO_MPI-style configuration
+configuration = {
+    'mpi': 'basic',        # default DMP pattern for distributed grids
+    'opt': True,           # flop-reducing pipeline on by default
+}
+
+from .symbolics import (Derivative, Symbol, cos, exp, sin, sqrt,  # noqa: E402
+                        solve as symbolic_solve)
+from .dsl.dimensions import (Dimension, SpaceDimension,  # noqa: E402
+                             SteppingDimension, TimeDimension)
+from .dsl.grid import Grid  # noqa: E402
+from .dsl.function import (Constant, Function,  # noqa: E402
+                           TimeFunction)
+from .dsl.tensor import (TensorTimeFunction, VectorTimeFunction,  # noqa: E402
+                         div, grad, tr)
+from .dsl.sparse import SparseFunction, SparseTimeFunction  # noqa: E402
+from .dsl.equation import Eq, solve  # noqa: E402
+from .dsl.operator import Operator, PerformanceSummary  # noqa: E402
+from .mpi import parallel, run_parallel  # noqa: E402
+
+__version__ = '1.0.0'
+
+__all__ = [
+    'configuration', 'Derivative', 'Symbol', 'cos', 'exp', 'sin', 'sqrt',
+    'symbolic_solve', 'Dimension', 'SpaceDimension', 'SteppingDimension',
+    'TimeDimension', 'Grid', 'Constant', 'Function', 'TimeFunction',
+    'TensorTimeFunction', 'VectorTimeFunction', 'div', 'grad', 'tr',
+    'SparseFunction', 'SparseTimeFunction', 'Eq', 'solve', 'Operator',
+    'PerformanceSummary', 'parallel', 'run_parallel', '__version__',
+]

@@ -1,0 +1,136 @@
+"""Command-line benchmark runner mirroring the paper's example scripts.
+
+The paper's Appendix C runs jobs like::
+
+    python examples/seismic/acoustic/acoustic_example.py \\
+        -d 1024 1024 1024 --tn 512 -so 8 -a aggressive
+
+This module provides the equivalent entry point::
+
+    python -m repro.cli acoustic -d 101 101 --tn 250 -so 8 --mpi diagonal
+
+printing the same kind of performance report (GPts/s, GFlops/s, OI) —
+at laptop scale on the simulated substrate.  ``--ranks N`` runs the same
+problem SPMD over N simulated MPI ranks and verifies the result against
+the serial run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ['main', 'run_benchmark']
+
+_SETUPS = None
+
+
+def _setups():
+    global _SETUPS
+    if _SETUPS is None:
+        from .models import (acoustic_setup, elastic_setup, tti_setup,
+                             viscoelastic_setup)
+        _SETUPS = {'acoustic': acoustic_setup, 'elastic': elastic_setup,
+                   'tti': tti_setup, 'viscoelastic': viscoelastic_setup}
+    return _SETUPS
+
+
+def _parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli',
+        description='Run a wave-propagator benchmark (paper Listing 14 '
+                    'style).')
+    p.add_argument('kernel', choices=['acoustic', 'elastic', 'tti',
+                                      'viscoelastic'])
+    p.add_argument('-d', '--shape', nargs='+', type=int,
+                   default=[101, 101], metavar='N',
+                   help='grid points per dimension (2 or 3 values)')
+    p.add_argument('--tn', type=float, default=250.0,
+                   help='simulation end time in ms')
+    p.add_argument('-so', '--space-order', type=int, default=8,
+                   help='spatial discretization order (SDO)')
+    p.add_argument('--nbl', type=int, default=10,
+                   help='absorbing boundary layer width in points')
+    p.add_argument('--mpi', choices=['basic', 'diagonal', 'full'],
+                   default='basic', help='DMP communication pattern')
+    p.add_argument('--ranks', type=int, default=1,
+                   help='simulated MPI ranks (1 = serial)')
+    p.add_argument('--topology', nargs='+', type=int, default=None,
+                   help='process grid (0 entries auto-derived)')
+    p.add_argument('-a', '--autotune', default='aggressive',
+                   help='accepted for CLI parity; the flop-reducing '
+                        'pipeline is always available via --no-opt')
+    p.add_argument('--no-opt', action='store_true',
+                   help='disable CSE/factorization/hoisting')
+    p.add_argument('--verify', action='store_true',
+                   help='with --ranks > 1: check against the serial run')
+    return p
+
+
+def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
+                  ranks=1, topology=None, opt=True, verify=False,
+                  out=None):
+    """Run one benchmark; returns (summary, gathered primary field)."""
+    # resolve stdout at call time (pytest capture swaps sys.stdout)
+    out = out if out is not None else sys.stdout
+    setup = _setups()[kernel]
+    spacing = (10.0,) * len(shape)
+
+    def single(comm=None):
+        solver, tr = setup(shape=tuple(shape), spacing=spacing, tn=tn,
+                           space_order=space_order, nbl=nbl, comm=comm,
+                           topology=tuple(topology) if topology else None,
+                           mpi=mpi if comm is not None else None,
+                           opt=opt, nrec=16)
+        result = solver.forward()
+        summary = result[-1]
+        wf = result[1]
+        field = wf.data.gather() if hasattr(wf, 'data') \
+            else wf[0].data.gather()
+        return summary, field, solver.op
+
+    if ranks == 1:
+        summary, field, op = single()
+        _report(kernel, shape, space_order, mpi, 1, summary, op, out)
+        return summary, field
+
+    from .mpi import run_parallel
+    results = run_parallel(lambda c: single(c), ranks)
+    summary, field, op = results[0]
+    _report(kernel, shape, space_order, mpi, ranks, summary, op, out)
+    if verify:
+        serial_summary, serial_field, _ = single()
+        ok = np.array_equal(field, serial_field)
+        print('verification vs serial run: %s'
+              % ('IDENTICAL' if ok else 'MISMATCH'), file=out)
+        if not ok:
+            raise SystemExit(1)
+    return summary, field
+
+
+def _report(kernel, shape, so, mpi, ranks, summary, op, out):
+    print('--- %s | shape %s | SDO %d | mpi=%s | ranks=%d ---'
+          % (kernel, 'x'.join(map(str, shape)), so, mpi, ranks), file=out)
+    print('timesteps        : %d' % summary.timesteps, file=out)
+    print('elapsed          : %.4f s' % summary.elapsed, file=out)
+    print('throughput       : %.4f GPts/s' % summary.gpointss, file=out)
+    print('performance      : %.3f GFlops/s' % summary.gflopss, file=out)
+    print('flops/point      : %d' % op.flops_per_point, file=out)
+    print('operational int. : %.2f F/B (compile-time, from the AST)'
+          % op.oi, file=out)
+
+
+def main(argv=None):
+    args = _parser().parse_args(argv)
+    if len(args.shape) not in (2, 3):
+        raise SystemExit('-d expects 2 or 3 dimensions')
+    run_benchmark(args.kernel, args.shape, args.tn, args.space_order,
+                  nbl=args.nbl, mpi=args.mpi, ranks=args.ranks,
+                  topology=args.topology, opt=not args.no_opt,
+                  verify=args.verify)
+
+
+if __name__ == '__main__':
+    main()

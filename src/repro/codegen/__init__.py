@@ -1,0 +1,7 @@
+"""Code generation backends (vectorized NumPy JIT; C emitter)."""
+
+from .common import RESERVED_NAMES, cluster_union_widths, function_nb
+from .pybackend import PyKernel, generate_kernel
+
+__all__ = ['RESERVED_NAMES', 'cluster_union_widths', 'function_nb',
+           'PyKernel', 'generate_kernel']

@@ -1,0 +1,49 @@
+"""Shared helpers for the code-generation backends."""
+
+from __future__ import annotations
+
+from ..mpi import HaloWidths
+
+__all__ = ['RESERVED_NAMES', 'validate_names', 'function_nb',
+           'cluster_union_widths']
+
+#: identifiers the generated kernels use internally
+RESERVED_NAMES = frozenset({
+    'time', 'time_m', 'time_M', 'np', 'range', 'comm',
+    '__A', '__P', '__EX', '__SP', '__comm', '__kernel',
+})
+
+
+def validate_names(schedule):
+    """Reject user names that would collide with generated identifiers."""
+    names = {f.name for f in schedule.functions}
+    names |= {s.name for s in schedule.sparse_functions}
+    bad = names & RESERVED_NAMES
+    if bad:
+        raise ValueError("function names collide with generated code: %s"
+                         % sorted(bad))
+    for name in names:
+        if name.startswith('__') or name.startswith('r') and \
+                name[1:].isdigit():
+            raise ValueError("function name %r is reserved for generated "
+                             "temporaries" % name)
+
+
+def function_nb(func):
+    """Number of time buffers of a function (1 for time-invariant)."""
+    return getattr(func, 'nbuffers', 1)
+
+
+def cluster_union_widths(cluster):
+    """Union of halo widths over all of a cluster's requirements.
+
+    This defines the CORE region for the overlap (*full*) mode: points
+    whose stencil never touches any of the halos being exchanged.
+    """
+    ndim = len(cluster.grid.shape)
+    widths = [[0, 0] for _ in range(ndim)]
+    for req in cluster.halo_requirements():
+        for d, (wl, wr) in enumerate(req.widths):
+            widths[d][0] = max(widths[d][0], wl)
+            widths[d][1] = max(widths[d][1], wr)
+    return HaloWidths(widths)

@@ -1,0 +1,20 @@
+"""The user-facing DSL: grids, functions, equations, operators."""
+
+from .dimensions import (Dimension, SpaceDimension, SteppingDimension,
+                         TimeDimension)
+from .grid import Grid
+from .function import Constant, DiscreteFunction, Function, TimeFunction
+from .tensor import (TensorExpr, TensorTimeFunction, VectorExpr,
+                     VectorTimeFunction, div, grad, tr)
+from .sparse import (Injection, Interpolation, SparseFunction,
+                     SparseTimeFunction)
+from .equation import Eq, solve
+from .operator import Operator, PerformanceSummary
+
+__all__ = [
+    'Dimension', 'SpaceDimension', 'SteppingDimension', 'TimeDimension',
+    'Grid', 'Constant', 'DiscreteFunction', 'Function', 'TimeFunction',
+    'TensorExpr', 'TensorTimeFunction', 'VectorExpr', 'VectorTimeFunction',
+    'div', 'grad', 'tr', 'Injection', 'Interpolation', 'SparseFunction',
+    'SparseTimeFunction', 'Eq', 'solve', 'Operator', 'PerformanceSummary',
+]

@@ -1,0 +1,88 @@
+"""Problem dimensions: the index symbols of the DSL.
+
+Dimensions are :class:`~repro.symbolics.Symbol` subclasses carrying their
+grid-spacing symbol, so FD expansion (``1/h_x**2`` factors) and code
+generation (loop bounds ``x_m``/``x_M``) can be derived from expressions
+alone — mirroring Devito's ``SpaceDimension``/``TimeDimension``/
+``SteppingDimension`` hierarchy.
+"""
+
+from __future__ import annotations
+
+from ..symbolics import Symbol
+
+__all__ = ['Dimension', 'SpaceDimension', 'TimeDimension',
+           'SteppingDimension', 'Spacing']
+
+
+class Spacing(Symbol):
+    """A grid-spacing symbol (``h_x``, ``dt``)."""
+
+    __slots__ = ()
+
+
+class Dimension(Symbol):
+    """A problem dimension (iteration index)."""
+
+    __slots__ = ('spacing',)
+
+    is_Space = False
+    is_Time = False
+    is_Stepping = False
+
+    def __init__(self, name, spacing=None):
+        super().__init__(name)
+        self.spacing = spacing if spacing is not None \
+            else Spacing('h_%s' % name)
+
+    @property
+    def symbolic_min(self):
+        return Symbol('%s_m' % self.name)
+
+    @property
+    def symbolic_max(self):
+        return Symbol('%s_M' % self.name)
+
+    @property
+    def root(self):
+        return self
+
+
+class SpaceDimension(Dimension):
+    """A spatial dimension (candidate for domain decomposition)."""
+
+    __slots__ = ()
+    is_Space = True
+
+
+class TimeDimension(Dimension):
+    """The time-stepping dimension (always sequential)."""
+
+    __slots__ = ()
+    is_Time = True
+
+    def __init__(self, name='time', spacing=None):
+        super().__init__(name, spacing=spacing if spacing is not None
+                         else Spacing('dt'))
+
+
+class SteppingDimension(Dimension):
+    """A modulo-buffered alias of the time dimension.
+
+    ``TimeFunction`` data is accessed through this dimension: an index
+    ``t + k`` maps to buffer ``(time + k) % nbuffers`` in generated code,
+    which is what makes second-order-in-time propagators need only three
+    buffers.
+    """
+
+    __slots__ = ('parent',)
+    is_Time = True
+    is_Stepping = True
+
+    def __init__(self, name, parent):
+        super().__init__(name, spacing=parent.spacing)
+        self.parent = parent
+
+    @property
+    def root(self):
+        return self.parent

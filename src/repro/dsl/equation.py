@@ -1,0 +1,144 @@
+"""Equations: the unit of specification handed to an ``Operator``.
+
+``Eq(lhs, rhs)`` is symbolic (nothing is computed at construction).
+Vector/tensor equations flatten into per-component scalar equations.  The
+lowering entry point resolves staggered evaluation points (derivatives on
+the RHS are evaluated at the LHS field's grid position) and expands all
+derivatives into explicit stencils.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..symbolics import (Derivative, Indexed, S, expand_derivatives,
+                         indexify, preorder, xreplace)
+from ..symbolics import solve as _solve
+from .function import DiscreteFunction, TimeFunction
+from .tensor import TensorExpr, VectorExpr
+
+__all__ = ['Eq', 'solve']
+
+
+class Eq:
+    """A symbolic equation ``lhs = rhs``.
+
+    For stencil updates, ``lhs`` is a function access (``u.forward``) and
+    ``rhs`` an expression.  Passing vector/tensor objects produces a list
+    of scalar component equations via :func:`Eq.flatten`.
+    """
+
+    def __new__(cls, lhs, rhs=0, subdomain=None):
+        if isinstance(lhs, (VectorExpr, TensorExpr)) or \
+                isinstance(rhs, (VectorExpr, TensorExpr)):
+            return cls.flatten(lhs, rhs, subdomain=subdomain)
+        return super().__new__(cls)
+
+    def __init__(self, lhs, rhs=0, subdomain=None):
+        if isinstance(lhs, list):
+            return  # produced by flatten; already a list of Eqs
+        self.lhs = S(lhs)
+        self.rhs = S(rhs)
+        self.subdomain = subdomain
+
+    @classmethod
+    def flatten(cls, lhs, rhs, subdomain=None):
+        if isinstance(lhs, VectorExpr):
+            if not isinstance(rhs, VectorExpr):
+                raise TypeError("vector lhs needs vector rhs")
+            return [cls(a, b, subdomain=subdomain)
+                    for a, b in zip(lhs.components, rhs.components)]
+        if isinstance(lhs, TensorExpr):
+            if not isinstance(rhs, TensorExpr):
+                raise TypeError("tensor lhs needs tensor rhs")
+            return [cls(lhs.entries[k], rhs.entries[k], subdomain=subdomain)
+                    for k in sorted(lhs.entries)]
+        raise TypeError("flatten expects vector/tensor operands")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def residual(self):
+        """``lhs - rhs`` (what ``solve`` operates on)."""
+        return self.lhs - self.rhs
+
+    def target_function(self):
+        """The DiscreteFunction written by this equation."""
+        lhs = self.lhs
+        if isinstance(lhs, DiscreteFunction):
+            return lhs
+        if lhs.is_Indexed and isinstance(lhs.base, DiscreteFunction):
+            return lhs.base
+        raise ValueError("equation lhs %s is not a function access" % (lhs,))
+
+    # -- lowering ----------------------------------------------------------------
+
+    def lower(self):
+        """Resolve staggering, expand derivatives, indexify.
+
+        Returns ``(lhs_indexed, rhs_expr)``, both fully index-explicit.
+        This is the "Equations lowering" stage of the paper's Figure 1.
+        """
+        func = self.target_function()
+        lhs = self.lhs
+        if isinstance(lhs, DiscreteFunction):
+            lhs = lhs.indexify()
+        x0_map = dict(getattr(func, 'stagger_map', {}))
+        rhs = _apply_x0(self.rhs, x0_map)
+        rhs = indexify(expand_derivatives(rhs))
+        return lhs, rhs
+
+    def __repr__(self):
+        return 'Eq(%s, %s)' % (self.lhs, self.rhs)
+
+
+def _apply_x0(expr, x0_map):
+    """Set the evaluation point of derivatives lacking an explicit one.
+
+    The LHS staggering decides where RHS derivatives are evaluated —
+    Devito's automatic staggered-scheme derivation.  Only space
+    dimensions participate (time offsets are explicit).
+    """
+    if not x0_map:
+        return S(expr)
+
+    def rebuild(node):
+        if not node.args and not node.is_Derivative:
+            return node
+        new_args = [rebuild(a) for a in node.args]
+        if node.is_Derivative:
+            merged = dict(x0_map)
+            merged.update(node.x0)
+            # keep only offsets for the dimensions being differentiated
+            # or appearing in the sampled expression's staggering
+            return Derivative(new_args[0], *node.derivs,
+                              fd_order=node.fd_order, x0=merged,
+                              offsets=node.offsets)
+        if all(na is a for na, a in zip(new_args, node.args)):
+            return node
+        return node.func(*new_args)
+
+    return rebuild(S(expr))
+
+
+def solve(eq, target):
+    """Solve ``eq`` (an :class:`Eq` or an expression == 0) for ``target``.
+
+    Resolves staggering against the *target*'s grid position before
+    expanding, so staggered systems produce consistent updates.
+    """
+    if isinstance(eq, Eq):
+        expr = eq.residual
+    else:
+        expr = S(eq)
+    tfunc = None
+    t = S(target)
+    if isinstance(t, DiscreteFunction):
+        tfunc = t
+    elif t.is_Indexed and isinstance(t.base, DiscreteFunction):
+        tfunc = t.base
+    if tfunc is not None:
+        expr = _apply_x0(expr, dict(getattr(tfunc, 'stagger_map', {})))
+    if isinstance(t, DiscreteFunction):
+        t = t.indexify()
+    return _solve(expr, t)

@@ -1,0 +1,104 @@
+"""The structured computational grid.
+
+``Grid`` owns the physical geometry (shape, extent, origin), the
+dimensions, and — when constructed with a communicator — the domain
+decomposition (paper Section III-a): decomposition happens at ``Grid``
+creation, optionally steered by the user-provided ``topology``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi import Distributor
+from .dimensions import SpaceDimension, SteppingDimension, TimeDimension
+
+__all__ = ['Grid']
+
+_DEFAULT_DIM_NAMES = ('x', 'y', 'z')
+
+
+class Grid:
+    """A structured, possibly distributed, computational grid.
+
+    Parameters
+    ----------
+    shape : tuple of int
+        Number of grid points per dimension (the DOMAIN region).
+    extent : tuple of float, optional
+        Physical size; defaults to unit spacing.
+    origin : tuple of float, optional
+        Physical coordinates of the first point (default zeros).
+    dtype : numpy dtype
+        Default dtype of functions on this grid (float32, like Devito).
+    comm : SimComm, optional
+        Communicator for distributed runs; None means serial.
+    topology : tuple of int, optional
+        Process grid (zero entries auto-derived, cf. Figure 2).
+    """
+
+    def __init__(self, shape, extent=None, origin=None, dtype=np.float32,
+                 comm=None, topology=None):
+        self.shape = tuple(int(s) for s in shape)
+        self.dim = len(self.shape)
+        if self.dim < 1 or self.dim > 3:
+            raise ValueError("only 1D/2D/3D grids are supported")
+        if extent is None:
+            extent = tuple(float(s - 1) for s in self.shape)
+        self.extent = tuple(float(e) for e in extent)
+        if origin is None:
+            origin = (0.0,) * self.dim
+        self.origin = tuple(float(o) for o in origin)
+        self.dtype = np.dtype(dtype)
+
+        self.dimensions = tuple(SpaceDimension(_DEFAULT_DIM_NAMES[i])
+                                for i in range(self.dim))
+        self.time_dim = TimeDimension('time')
+        self.stepping_dim = SteppingDimension('t', self.time_dim)
+
+        self.distributor = Distributor(self.shape, comm=comm,
+                                       topology=topology)
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def spacing(self):
+        """Physical grid spacing per dimension."""
+        return tuple(e / max(s - 1, 1)
+                     for e, s in zip(self.extent, self.shape))
+
+    @property
+    def spacing_map(self):
+        """Mapping spacing symbol -> numeric value (kernel arguments)."""
+        return {d.spacing: h for d, h in zip(self.dimensions, self.spacing)}
+
+    @property
+    def spacing_symbols(self):
+        return tuple(d.spacing for d in self.dimensions)
+
+    @property
+    def comm(self):
+        return self.distributor.comm
+
+    @property
+    def topology(self):
+        return self.distributor.topology
+
+    @property
+    def is_distributed(self):
+        return self.distributor.is_parallel
+
+    @property
+    def shape_local(self):
+        return self.distributor.shape_local
+
+    @property
+    def origin_local(self):
+        """Physical coordinates of this rank's first owned point."""
+        return tuple(o + off * h for o, off, h in
+                     zip(self.origin, self.distributor.offsets_global,
+                         self.spacing))
+
+    def __repr__(self):
+        return ('Grid(shape=%s, extent=%s, topology=%s)'
+                % (self.shape, self.extent, self.topology))

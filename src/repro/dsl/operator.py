@@ -1,0 +1,239 @@
+"""The Operator: from symbolic equations to an executable kernel.
+
+``Operator([eqs...])`` runs the full compilation pipeline of the paper's
+Figure 1 — equations lowering, Cluster IR construction + data-dependence
+analysis, flop-reducing rewrites, halo-exchange detection and placement,
+schedule/IET construction — then JIT-compiles the vectorized NumPy kernel
+(and can print the equivalent C, cf. Listing 11).  ``apply`` runs it and
+returns a performance summary (GPts/s, GFlops/s, operational intensity —
+the metrics of Section IV).
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from .. import configuration
+from ..codegen.pybackend import generate_kernel
+from ..ir.schedule import build_schedule
+from ..dsl.function import Constant
+from ..dsl.sparse import PrecomputedSparseData
+from ..symbolics import preorder
+
+__all__ = ['Operator', 'PerformanceSummary']
+
+
+class PerformanceSummary:
+    """Measured throughput of one Operator application."""
+
+    def __init__(self, points, timesteps, elapsed, flops_per_point,
+                 traffic_per_point, nmessages=0):
+        self.points = points          # grid points updated per timestep
+        self.timesteps = timesteps
+        self.elapsed = elapsed
+        self.flops_per_point = flops_per_point
+        self.traffic_per_point = traffic_per_point
+        self.nmessages = nmessages
+
+    @property
+    def gpointss(self):
+        """Throughput in GPts/s (the paper's primary metric)."""
+        if self.elapsed <= 0:
+            return float('inf')
+        return self.points * self.timesteps / self.elapsed / 1e9
+
+    @property
+    def gflopss(self):
+        return self.gpointss * self.flops_per_point
+
+    @property
+    def oi(self):
+        """Operational intensity (flops/byte), computed at compile time
+        from the expression tree, as in the paper's Section IV-C."""
+        if self.traffic_per_point == 0:
+            return float('inf')
+        return self.flops_per_point / self.traffic_per_point
+
+    def __repr__(self):
+        return ('PerformanceSummary(%.4fs, %.3f GPts/s, %.2f GFlops/s, '
+                'OI=%.2f)' % (self.elapsed, self.gpointss, self.gflopss,
+                              self.oi))
+
+
+class Operator:
+    """Compile symbolic expressions into an executable stencil kernel.
+
+    Parameters
+    ----------
+    expressions : Eq / Injection / Interpolation, or (nested) lists thereof
+        Executed in order, once per timestep.
+    name : str
+        Kernel name (cosmetic).
+    opt : bool
+        Enable the flop-reducing pipeline (CSE, factorization, hoisting).
+    mpi : str or None
+        Communication pattern: 'basic', 'diagonal' or 'full'.  Defaults
+        to ``configuration['mpi']``; ignored on non-distributed grids.
+    progress : bool
+        In 'full' mode, run the progress-prodding thread (the sacrificed
+        OpenMP worker calling MPI_Test).
+    """
+
+    def __init__(self, expressions, name='Kernel', opt=True, mpi=None,
+                 progress=False):
+        self.name = name
+        self._mpi_requested = mpi if mpi is not None else \
+            configuration['mpi']
+        self.schedule = build_schedule(expressions,
+                                       mpi_mode=self._mpi_requested,
+                                       opt=opt)
+        self.grid = self.schedule.grid
+        self.mpi_mode = self.schedule.mpi_mode
+        self.kernel = generate_kernel(self.schedule, progress=progress)
+        self._bind_sparse_plans()
+        self._flops_per_point = self.schedule.flops_per_point()
+        self._traffic_per_point = self.schedule.traffic_per_point(
+            self.grid.dtype.itemsize)
+
+    # -- build-time plumbing ----------------------------------------------------
+
+    def _bind_sparse_plans(self):
+        for sid, step in enumerate(self.schedule.steps):
+            if not step.is_sparse:
+                continue
+            plan = PrecomputedSparseData(step.op.sparse)
+            self.kernel.sparse_plans[sid] = {
+                'pids': plan.point_ids,
+                'w': plan.weights,
+                'idx': plan.indices,
+                'data': step.op.sparse.data,
+            }
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def pycode(self):
+        """The generated (executable) Python source."""
+        return self.kernel.source
+
+    @property
+    def ccode(self):
+        """The equivalent C code (paper's Listing 11 style)."""
+        from ..codegen.cgen import generate_c
+        return generate_c(self.schedule, name=self.name)
+
+    @property
+    def flops_per_point(self):
+        return self._flops_per_point
+
+    @property
+    def traffic_per_point(self):
+        return self._traffic_per_point
+
+    @property
+    def oi(self):
+        if self._traffic_per_point == 0:
+            return float('inf')
+        return self._flops_per_point / self._traffic_per_point
+
+    @property
+    def exchangers(self):
+        return self.kernel.exchangers
+
+    # -- execution -----------------------------------------------------------------
+
+    def arguments(self, **kwargs):
+        """Resolve runtime arguments (arrays, scalars, time bounds)."""
+        params = {}
+        for sym, val in self.grid.spacing_map.items():
+            params[sym.name] = float(val)
+        for const in self._constants():
+            params[const.name] = float(const.value)
+        if 'dt' not in params:
+            params['dt'] = None
+        for key, val in kwargs.items():
+            if key in ('time_m', 'time_M'):
+                continue
+            params[key] = float(val)
+        if params.get('dt') is None and self._uses_dt():
+            raise ValueError("this Operator needs a 'dt' argument")
+
+        arrays = {}
+        for f in self.schedule.functions:
+            arrays[f.name] = f.data.with_halo
+
+        time_m = int(kwargs.get('time_m', 0))
+        time_M = kwargs.get('time_M')
+        if time_M is None:
+            nts = [s.nt for s in self.schedule.sparse_functions
+                   if getattr(s, 'is_SparseTimeFunction', False)]
+            if nts:
+                time_M = min(nts) - 1
+            else:
+                raise ValueError("this Operator needs a 'time_M' argument")
+        return time_m, int(time_M), arrays, params
+
+    def apply(self, **kwargs):
+        """Run the kernel; returns a :class:`PerformanceSummary`."""
+        time_m, time_M, arrays, params = self.arguments(**kwargs)
+        comm = self.grid.comm
+        tic = _time.perf_counter()
+        self.kernel(time_m, time_M, arrays, params, comm)
+        elapsed = _time.perf_counter() - tic
+        points = int(np.prod(self.grid.shape))
+        nmsg = sum(ex.nmessages for ex in self.kernel.exchangers.values())
+        return PerformanceSummary(points, max(time_M - time_m + 1, 0),
+                                  elapsed, self._flops_per_point,
+                                  self._traffic_per_point, nmessages=nmsg)
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _constants(self):
+        out = {}
+        for cluster in self.schedule.clusters:
+            for _, rhs in cluster.temps:
+                for node in preorder(rhs):
+                    if isinstance(node, Constant):
+                        out[node.name] = node
+            for eq in cluster.eqs:
+                for node in preorder(eq.rhs):
+                    if isinstance(node, Constant):
+                        out[node.name] = node
+        for _, rhs in self.schedule.scalar_assignments:
+            for node in preorder(rhs):
+                if isinstance(node, Constant):
+                    out[node.name] = node
+        for step in self.schedule.steps:
+            if step.is_sparse:
+                for node in preorder(step.expr):
+                    if isinstance(node, Constant):
+                        out[node.name] = node
+        return list(out.values())
+
+    def _uses_dt(self):
+        for _, rhs in self.schedule.scalar_assignments:
+            for node in preorder(rhs):
+                if node.is_Symbol and node.name == 'dt':
+                    return True
+        for cluster in self.schedule.clusters:
+            for _, rhs in cluster.temps:
+                for node in preorder(rhs):
+                    if node.is_Symbol and node.name == 'dt':
+                        return True
+            for eq in cluster.eqs:
+                for node in preorder(eq.rhs):
+                    if node.is_Symbol and node.name == 'dt':
+                        return True
+        for step in self.schedule.steps:
+            if step.is_sparse:
+                for node in preorder(step.expr):
+                    if node.is_Symbol and node.name == 'dt':
+                        return True
+        return False
+
+    def __repr__(self):
+        return ('Operator(%s, clusters=%d, mpi=%s, flops/pt=%d)'
+                % (self.name, len(self.schedule.clusters), self.mpi_mode,
+                   self._flops_per_point))

@@ -1,0 +1,275 @@
+"""Vector- and tensor-valued functions on staggered grids.
+
+The elastic (Virieux velocity-stress) and viscoelastic propagators are
+coupled systems of a vectorial and a (symmetric) tensorial PDE.  This
+module provides the thin tensor-algebra layer used to express them:
+component containers with elementwise arithmetic, staggered component
+placement following the classic staggered-grid convention (velocities on
+face centers, shear stresses on edge centers), and ``div``/``grad``/``tr``
+operators producing per-component derivative expressions.
+"""
+
+from __future__ import annotations
+
+from ..symbolics import Add, Derivative, Mul, S
+from .function import TimeFunction
+
+__all__ = ['VectorExpr', 'TensorExpr', 'VectorTimeFunction',
+           'TensorTimeFunction', 'div', 'grad', 'tr']
+
+
+class VectorExpr:
+    """A vector of symbolic expressions with elementwise arithmetic."""
+
+    def __init__(self, components):
+        self.components = tuple(components)
+
+    def __len__(self):
+        return len(self.components)
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __getitem__(self, i):
+        return self.components[i]
+
+    def _zip(self, other, op):
+        if isinstance(other, VectorExpr):
+            if len(other) != len(self):
+                raise ValueError("vector length mismatch")
+            return VectorExpr([op(a, b) for a, b in
+                               zip(self.components, other.components)])
+        other = S(other)
+        return VectorExpr([op(a, other) for a in self.components])
+
+    def __add__(self, other):
+        return self._zip(other, lambda a, b: Add.make(a, b))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._zip(other, lambda a, b: Add.make(a, Mul.make(-1, b)))
+
+    def __rsub__(self, other):
+        return self._zip(other, lambda a, b: Add.make(b, Mul.make(-1, a)))
+
+    def __mul__(self, other):
+        if isinstance(other, (VectorExpr, TensorExpr)):
+            raise TypeError("use div/grad/tr for tensor contractions")
+        return VectorExpr([Mul.make(a, S(other)) for a in self.components])
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1
+
+    def __repr__(self):
+        return 'VectorExpr(%s)' % (list(self.components),)
+
+
+class TensorExpr:
+    """A symmetric 2nd-order tensor of expressions (stores i <= j)."""
+
+    def __init__(self, entries, ndim):
+        self.ndim = ndim
+        self.entries = dict(entries)
+        for i in range(ndim):
+            for j in range(i, ndim):
+                if (i, j) not in self.entries:
+                    raise ValueError("missing tensor entry (%d, %d)" % (i, j))
+
+    def __getitem__(self, key):
+        i, j = key
+        return self.entries[(min(i, j), max(i, j))]
+
+    def _zip(self, other, op):
+        if isinstance(other, TensorExpr):
+            if other.ndim != self.ndim:
+                raise ValueError("tensor dimensionality mismatch")
+            return TensorExpr({k: op(v, other.entries[k])
+                               for k, v in self.entries.items()}, self.ndim)
+        other = S(other)
+        return TensorExpr({k: op(v, other)
+                           for k, v in self.entries.items()}, self.ndim)
+
+    def __add__(self, other):
+        return self._zip(other, lambda a, b: Add.make(a, b))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._zip(other, lambda a, b: Add.make(a, Mul.make(-1, b)))
+
+    def __mul__(self, other):
+        if isinstance(other, (VectorExpr, TensorExpr)):
+            raise TypeError("use div/grad/tr for tensor contractions")
+        other = S(other)
+        return TensorExpr({k: Mul.make(v, other)
+                           for k, v in self.entries.items()}, self.ndim)
+
+    __rmul__ = __mul__
+
+    def __repr__(self):
+        return 'TensorExpr(%s)' % (self.entries,)
+
+
+class VectorTimeFunction(VectorExpr):
+    """A vector field; component ``i`` is staggered along dimension ``i``.
+
+    This is the classic staggered placement of particle velocities in
+    Virieux-type schemes: ``v_x`` lives on x-face centers, etc.
+    """
+
+    def __init__(self, name, grid, space_order=1, time_order=1, dtype=None):
+        self.name = name
+        self.grid = grid
+        self.space_order = space_order
+        comps = []
+        for dim in grid.dimensions:
+            comps.append(TimeFunction('%s_%s' % (name, dim.name), grid,
+                                      space_order=space_order,
+                                      time_order=time_order, dtype=dtype,
+                                      staggered=(dim,)))
+        super().__init__(comps)
+
+    @property
+    def forward(self):
+        return VectorExpr([c.forward for c in self.components])
+
+    @property
+    def backward(self):
+        return VectorExpr([c.backward for c in self.components])
+
+    @property
+    def dt(self):
+        return VectorExpr([c.dt for c in self.components])
+
+
+class TensorTimeFunction(TensorExpr):
+    """A symmetric tensor field with staggered off-diagonal components.
+
+    Diagonal components are node-centered; component (i, j) with i != j
+    is staggered along both dimensions i and j (edge centers).
+    """
+
+    def __init__(self, name, grid, space_order=1, time_order=1, dtype=None):
+        self.name = name
+        self.grid = grid
+        self.space_order = space_order
+        dims = grid.dimensions
+        entries = {}
+        for i in range(len(dims)):
+            for j in range(i, len(dims)):
+                if i == j:
+                    stag = ()
+                    label = '%s_%s%s' % (name, dims[i].name, dims[j].name)
+                else:
+                    stag = (dims[i], dims[j])
+                    label = '%s_%s%s' % (name, dims[i].name, dims[j].name)
+                entries[(i, j)] = TimeFunction(label, grid,
+                                               space_order=space_order,
+                                               time_order=time_order,
+                                               dtype=dtype, staggered=stag)
+        super().__init__(entries, len(dims))
+
+    @property
+    def forward(self):
+        return TensorExpr({k: v.forward for k, v in self.entries.items()},
+                          self.ndim)
+
+    @property
+    def backward(self):
+        return TensorExpr({k: v.backward for k, v in self.entries.items()},
+                          self.ndim)
+
+    @property
+    def dt(self):
+        return TensorExpr({k: v.dt for k, v in self.entries.items()},
+                          self.ndim)
+
+    @property
+    def functions(self):
+        """The unique component TimeFunctions."""
+        return [self.entries[k] for k in sorted(self.entries)]
+
+
+def _deriv(expr, dim, fd_order):
+    return Derivative(expr, (dim, 1), fd_order=fd_order)
+
+
+def div(arg, fd_order=None):
+    """Divergence: scalar for a vector argument, vector for a tensor."""
+    if isinstance(arg, VectorExpr):
+        dims = _dims_of(arg)
+        order = fd_order or _order_of(arg)
+        return Add.make(*[_deriv(c, d, order)
+                          for c, d in zip(arg.components, dims)])
+    if isinstance(arg, TensorExpr):
+        dims = _dims_of(arg)
+        order = fd_order or _order_of(arg)
+        comps = []
+        for i in range(arg.ndim):
+            comps.append(Add.make(*[_deriv(arg[i, j], dims[j], order)
+                                    for j in range(arg.ndim)]))
+        return VectorExpr(comps)
+    raise TypeError("div expects a vector or tensor")
+
+
+def grad(expr, dims=None, fd_order=None):
+    """Gradient of a scalar expression: a vector of first derivatives."""
+    if isinstance(expr, (VectorExpr, TensorExpr)):
+        raise TypeError("grad of non-scalars is expressed via components")
+    if dims is None:
+        dims = _dims_of(expr)
+    order = fd_order or _order_of(expr)
+    return VectorExpr([_deriv(expr, d, order) for d in dims])
+
+
+def tr(tensor):
+    """Trace of a tensor expression."""
+    if not isinstance(tensor, TensorExpr):
+        raise TypeError("tr expects a tensor")
+    return Add.make(*[tensor[i, i] for i in range(tensor.ndim)])
+
+
+def _dims_of(arg):
+    if hasattr(arg, 'grid'):
+        return arg.grid.dimensions
+    # fall back: find a DiscreteFunction inside the expression(s)
+    from ..symbolics import preorder
+    exprs = []
+    if isinstance(arg, VectorExpr):
+        exprs = list(arg.components)
+    elif isinstance(arg, TensorExpr):
+        exprs = list(arg.entries.values())
+    else:
+        exprs = [S(arg)]
+    for e in exprs:
+        for node in preorder(S(e)):
+            grid = getattr(node, 'grid', None)
+            if grid is None and node.is_Indexed:
+                grid = getattr(node.base, 'grid', None)
+            if grid is not None:
+                return grid.dimensions
+    raise ValueError("cannot infer grid dimensions")
+
+
+def _order_of(arg):
+    if hasattr(arg, 'space_order'):
+        return arg.space_order
+    from ..symbolics import preorder
+    exprs = []
+    if isinstance(arg, VectorExpr):
+        exprs = list(arg.components)
+    elif isinstance(arg, TensorExpr):
+        exprs = list(arg.entries.values())
+    else:
+        exprs = [S(arg)]
+    for e in exprs:
+        for node in preorder(S(e)):
+            so = getattr(node, 'space_order', None)
+            if so is None and node.is_Indexed:
+                so = getattr(node.base, 'space_order', None)
+            if so is not None:
+                return so
+    return 2

@@ -1,0 +1,12 @@
+"""Compiler intermediate representations and passes."""
+
+from .lowered import Access, LoweredEq, accesses_of, parse_access, parse_index
+from .clusters import Cluster, HaloRequirement, clusterize, optimize_clusters
+from .schedule import (ComputeStep, HaloStep, Schedule, SparseStep,
+                       build_schedule)
+
+__all__ = [
+    'Access', 'LoweredEq', 'accesses_of', 'parse_access', 'parse_index',
+    'Cluster', 'HaloRequirement', 'clusterize', 'optimize_clusters',
+    'ComputeStep', 'HaloStep', 'Schedule', 'SparseStep', 'build_schedule',
+]

@@ -1,0 +1,219 @@
+"""The Cluster-level IR: expression grouping and halo detection.
+
+A :class:`Cluster` groups lowered equations that share an iteration space
+and have no offset flow dependence among them (those would require a halo
+refresh in between under DMP).  The Cluster level is where the compiler
+performs data-dependence analysis, detects required halo exchanges, and
+runs the flop-reducing rewrites (CSE, factorization, invariant hoisting)
+— paper Sections II and III-f.
+"""
+
+from __future__ import annotations
+
+from ..mpi import HaloWidths
+from ..symbolics import (Temp, count_ops, cse, factorize, hoist_invariants,
+                         preorder)
+from .lowered import LoweredEq
+
+__all__ = ['Cluster', 'HaloRequirement', 'clusterize', 'optimize_clusters']
+
+
+class HaloRequirement:
+    """One function's halo data needed before a cluster executes.
+
+    ``time_shift`` selects the time buffer (None for time-invariant
+    functions, whose exchange hoists out of the time loop entirely).
+    """
+
+    __slots__ = ('function', 'time_shift', 'widths')
+
+    def __init__(self, function, time_shift, widths):
+        self.function = function
+        self.time_shift = time_shift
+        self.widths = HaloWidths(widths)
+
+    @property
+    def key(self):
+        return (self.function.name, self.time_shift)
+
+    def __repr__(self):
+        return 'HaloRequirement(%s, t%s, %s)' % (
+            self.function.name, self.time_shift, self.widths)
+
+
+class Cluster:
+    """A group of lowered equations over the same iteration space."""
+
+    def __init__(self, eqs):
+        self.eqs = list(eqs)
+        if not self.eqs:
+            raise ValueError("empty cluster")
+        #: scalar temporaries local to this cluster (from CSE)
+        self.temps = []
+
+    @property
+    def grid(self):
+        return self.eqs[0].grid
+
+    @property
+    def write_keys(self):
+        return {eq.write.key for eq in self.eqs}
+
+    @property
+    def functions(self):
+        """All functions accessed by this cluster."""
+        seen = {}
+        for eq in self.eqs:
+            for acc in [eq.write] + eq.reads:
+                seen[acc.function.name] = acc.function
+        for _, rhs in self.temps:
+            from .lowered import accesses_of
+            for acc in accesses_of(rhs):
+                seen[acc.function.name] = acc.function
+        return list(seen.values())
+
+    # -- halo detection (paper Section III-f) ----------------------------------
+
+    def halo_requirements(self):
+        """Halo exchanges this cluster needs before executing.
+
+        A read at nonzero spatial offset along a decomposed dimension
+        touches neighbor-owned data; the union of such offsets per
+        (function, time buffer) gives the exchange widths.
+        """
+        from .lowered import accesses_of
+        dist = self.grid.distributor
+        reads = []
+        for eq in self.eqs:
+            reads.extend(eq.reads)
+        for _, rhs in self.temps:
+            reads.extend(accesses_of(rhs))
+        needs = {}
+        for acc in reads:
+            func = acc.function
+            ndims = len(acc.offsets)
+            key = (func.name, acc.time_shift)
+            entry = needs.setdefault(key, (func, [[0, 0] for _ in
+                                                  range(ndims)]))
+            widths = entry[1]
+            for d, off in enumerate(acc.offsets):
+                if not dist.is_distributed(d):
+                    continue
+                if off < 0:
+                    widths[d][0] = max(widths[d][0], -off)
+                elif off > 0:
+                    widths[d][1] = max(widths[d][1], off)
+        out = []
+        for (name, tshift), (func, widths) in needs.items():
+            if any(l or r for l, r in widths):
+                out.append(HaloRequirement(func, tshift, widths))
+        return out
+
+    # -- cost model hooks -----------------------------------------------------------
+
+    def flops_per_point(self):
+        """Scalar operations per grid point (compile-time flop count)."""
+        total = 0
+        for _, rhs in self.temps:
+            total += count_ops(rhs)
+        for eq in self.eqs:
+            total += count_ops(eq.rhs)
+        return total
+
+    def traffic_per_point(self, dtype_size=4):
+        """Bytes moved per point assuming perfect within-point reuse:
+        each distinct (function, time buffer) is streamed once."""
+        keys = set()
+        for eq in self.eqs:
+            keys.add(eq.write.key)
+            for acc in eq.reads:
+                keys.add(acc.key)
+        from .lowered import accesses_of
+        for _, rhs in self.temps:
+            for acc in accesses_of(rhs):
+                keys.add(acc.key)
+        # writes counted twice (write-allocate)
+        nwrites = len({eq.write.key for eq in self.eqs})
+        return (len(keys) + nwrites) * dtype_size
+
+    def __repr__(self):
+        return 'Cluster(%d eqs, writes=%s)' % (len(self.eqs),
+                                               sorted(self.write_keys))
+
+
+def clusterize(lowered_eqs):
+    """Group consecutive equations into clusters.
+
+    A new cluster starts whenever an equation reads, at nonzero spatial
+    offset, a buffer written by the current cluster — under DMP that read
+    needs a halo refresh of freshly computed data (e.g. the elastic
+    model's stress update reading the just-updated velocities).
+    """
+    clusters = []
+    current = []
+    current_writes = set()
+    for eq in lowered_eqs:
+        conflict = any(
+            acc.key in current_writes and any(acc.offsets)
+            for acc in eq.reads)
+        if conflict and current:
+            clusters.append(Cluster(current))
+            current = []
+            current_writes = set()
+        current.append(eq)
+        current_writes.add(eq.write.key)
+    if current:
+        clusters.append(Cluster(current))
+    return clusters
+
+
+def optimize_clusters(clusters, opt=True):
+    """Run the flop-reducing pipeline over all clusters.
+
+    Returns ``(scalar_assignments, clusters)``: loop-invariant scalar
+    temporaries (the ``r0 = 1/dt`` preamble of Listing 11) are hoisted
+    across clusters with a shared namer; point-level CSE temporaries stay
+    attached to their cluster; every final expression is factorized.
+    """
+    import itertools
+
+    counter = itertools.count()
+
+    def namer():
+        return Temp(next(counter))
+
+    def invariant_p(node):
+        # loop-invariant: no array access anywhere below
+        return not any(n.is_Indexed for n in preorder(node))
+
+    scalar_assignments = []
+    if not opt:
+        return scalar_assignments, clusters
+
+    for cluster in clusters:
+        pairs = [(eq.lhs, eq.rhs) for eq in cluster.eqs]
+        hoisted, pairs = hoist_invariants(pairs, invariant_p, mkname=namer)
+        scalar_assignments.extend(hoisted)
+        temps, pairs = cse(pairs, min_count=2, min_ops=1, mkname=namer)
+        temps = [(t, factorize(rhs)) for t, rhs in temps]
+        pairs = [(lhs, factorize(rhs)) for lhs, rhs in pairs]
+        cluster.temps = temps
+        cluster.eqs = [LoweredEq(lhs, rhs) for lhs, rhs in pairs]
+    # deduplicate identical scalar assignments across clusters
+    seen = {}
+    final_scalars = []
+    remap = {}
+    for temp, rhs in scalar_assignments:
+        rhs = rhs.xreplace(remap)
+        if rhs in seen:
+            remap[temp] = seen[rhs]
+        else:
+            seen[rhs] = temp
+            final_scalars.append((temp, rhs))
+    if remap:
+        for cluster in clusters:
+            cluster.temps = [(t, rhs.xreplace(remap))
+                             for t, rhs in cluster.temps]
+            cluster.eqs = [LoweredEq(eq.lhs, eq.rhs.xreplace(remap))
+                           for eq in cluster.eqs]
+    return final_scalars, clusters

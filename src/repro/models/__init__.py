@@ -1,0 +1,13 @@
+"""Application models built on the DSL (the paper's benchmark kernels)."""
+
+from .seismic import (AcousticWaveSolver, ElasticWaveSolver, Receiver,
+                      RickerSource, SeismicModel, TimeAxis, TTIWaveSolver,
+                      ViscoelasticWaveSolver, acoustic_setup,
+                      damping_profile, elastic_setup, ricker_wavelet,
+                      tti_setup, viscoelastic_setup)
+
+__all__ = ['AcousticWaveSolver', 'ElasticWaveSolver', 'Receiver',
+           'RickerSource', 'SeismicModel', 'TimeAxis', 'TTIWaveSolver',
+           'ViscoelasticWaveSolver', 'acoustic_setup', 'damping_profile',
+           'elastic_setup', 'ricker_wavelet', 'tti_setup',
+           'viscoelastic_setup']

@@ -1,0 +1,15 @@
+"""The paper's four seismic wave propagators and acquisition machinery."""
+
+from .model import SeismicModel, damping_profile
+from .geometry import (GaborSource, Receiver, RickerSource, TimeAxis,
+                       ricker_wavelet)
+from .acoustic import AcousticWaveSolver, acoustic_setup
+from .tti import TTIWaveSolver, tti_setup
+from .elastic import ElasticWaveSolver, elastic_setup
+from .viscoelastic import ViscoelasticWaveSolver, viscoelastic_setup
+
+__all__ = ['SeismicModel', 'damping_profile', 'GaborSource', 'Receiver',
+           'RickerSource', 'TimeAxis', 'ricker_wavelet',
+           'AcousticWaveSolver', 'acoustic_setup', 'TTIWaveSolver',
+           'tti_setup', 'ElasticWaveSolver', 'elastic_setup',
+           'ViscoelasticWaveSolver', 'viscoelastic_setup']

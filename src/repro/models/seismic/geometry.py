@@ -1,0 +1,89 @@
+"""Acquisition geometry: time axis, seismic sources and receivers.
+
+The paper models source injection with a Ricker wavelet (Section IV-C),
+the standard seismic source signature, injected at off-the-grid positions
+via the sparse-function machinery; receivers interpolate the wavefield at
+arbitrary positions every timestep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dsl import SparseTimeFunction
+
+__all__ = ['TimeAxis', 'RickerSource', 'GaborSource', 'Receiver',
+           'ricker_wavelet']
+
+
+class TimeAxis:
+    """A uniformly sampled time axis ``[start, stop]`` with step ``step``."""
+
+    def __init__(self, start=0.0, stop=None, step=None, num=None):
+        if stop is None and num is None:
+            raise ValueError("TimeAxis needs 'stop' or 'num'")
+        if step is None or step <= 0:
+            raise ValueError("TimeAxis needs a positive 'step'")
+        self.start = float(start)
+        self.step = float(step)
+        if num is None:
+            num = int(np.ceil((stop - start + step) / step))
+        self.num = int(num)
+        self.stop = self.start + (self.num - 1) * self.step
+
+    @property
+    def time_values(self):
+        return self.start + self.step * np.arange(self.num)
+
+    def __repr__(self):
+        return ('TimeAxis(start=%g, stop=%g, step=%g, num=%d)'
+                % (self.start, self.stop, self.step, self.num))
+
+
+def ricker_wavelet(time_values, f0, t0=None, a=1.0):
+    """The Ricker (Mexican-hat) wavelet at peak frequency ``f0``.
+
+    ``f0`` in kHz when time is in ms (Devito's seismic convention).
+    """
+    t0 = t0 if t0 is not None else 1.0 / f0
+    r = np.pi * f0 * (time_values - t0)
+    return a * (1.0 - 2.0 * r ** 2) * np.exp(-r ** 2)
+
+
+class RickerSource(SparseTimeFunction):
+    """A point source carrying a Ricker wavelet time signature."""
+
+    __slots__ = ('f0', 'time_range')
+
+    def __init__(self, name, grid, f0, time_range, coordinates=None,
+                 npoint=1, t0=None, a=1.0):
+        super().__init__(name, grid, npoint, time_range.num,
+                         coordinates=coordinates)
+        self.f0 = float(f0)
+        self.time_range = time_range
+        wav = ricker_wavelet(time_range.time_values, self.f0, t0=t0, a=a)
+        self.data[:] = wav[:, None].astype(self.grid.dtype)
+
+
+class GaborSource(SparseTimeFunction):
+    """A Gabor (Gaussian-windowed cosine) source wavelet."""
+
+    __slots__ = ('f0', 'time_range')
+
+    def __init__(self, name, grid, f0, time_range, coordinates=None,
+                 npoint=1, a=1.0):
+        super().__init__(name, grid, npoint, time_range.num,
+                         coordinates=coordinates)
+        self.f0 = float(f0)
+        self.time_range = time_range
+        t0 = 1.5 / f0
+        t = time_range.time_values
+        wav = a * np.cos(2 * np.pi * f0 * (t - t0)) * \
+            np.exp(-2 * (np.pi * f0 * (t - t0)) ** 2 / 4.0)
+        self.data[:] = wav[:, None].astype(self.grid.dtype)
+
+
+class Receiver(SparseTimeFunction):
+    """An array of point receivers recording an interpolated wavefield."""
+
+    __slots__ = ()

@@ -1,0 +1,241 @@
+"""Seismic model container: physical parameters + absorbing boundaries.
+
+Mirrors Devito's ``SeismicModel``: a velocity (and optionally density,
+anisotropy, attenuation) model on a grid extended by ``nbl`` absorbing
+boundary points per side (the paper's 40-point ABC layer), material
+parameter ``Function``s, damping profiles, and the CFL-stable timestep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dsl import Function, Grid
+
+__all__ = ['SeismicModel', 'damping_profile']
+
+
+def damping_profile(shape, nbl, spacing, vmax, dtype=np.float32):
+    """Cosine-taper absorbing damping coefficient (Sochacki-style sponge).
+
+    Zero in the physical domain, growing towards the outer edge of the
+    absorbing layer.  Scaled so that ``damp*u.dt`` critically damps the
+    fastest wave over the layer.
+    """
+    ndim = len(shape)
+    damp = np.zeros(shape, dtype=dtype)
+    # log(1/R) * 3 v / (2 L) with reflection coefficient R = 1e-3
+    for d in range(ndim):
+        if nbl == 0:
+            continue
+        coeff = 3.0 * vmax * np.log(1000.0) / (2.0 * nbl * spacing[d])
+        pos = np.zeros(shape[d])
+        for i in range(shape[d]):
+            dist = 0
+            if i < nbl:
+                dist = (nbl - i) / nbl
+            elif i >= shape[d] - nbl:
+                dist = (i - (shape[d] - nbl - 1)) / nbl
+            pos[i] = coeff * (dist - np.sin(2 * np.pi * dist) /
+                              (2 * np.pi))
+        expand = [1] * ndim
+        expand[d] = shape[d]
+        damp = np.maximum(damp, pos.reshape(expand))
+    return damp
+
+
+class SeismicModel:
+    """Physical model on an ABC-extended grid.
+
+    Parameters
+    ----------
+    shape : tuple
+        Physical (interior) grid shape.
+    spacing : tuple of float
+        Grid spacing in meters.
+    origin : tuple of float
+        Physical origin of the *interior* domain.
+    vp : float or ndarray
+        P-wave velocity in km/s (Devito convention).
+    nbl : int
+        Absorbing layer width in points (paper uses 40).
+    vs, rho : float or ndarray, optional
+        S-wave velocity and density (elastic/viscoelastic models).
+    epsilon, delta, theta, phi : float or ndarray, optional
+        Thomsen parameters and tilt/azimuth angles (TTI).
+    qp, qs : float, optional
+        P/S quality factors (viscoelastic).
+    comm : SimComm, optional
+        Communicator for distributed runs.
+    """
+
+    def __init__(self, shape, spacing, origin=None, vp=1.5, nbl=40,
+                 space_order=8, vs=None, rho=None, epsilon=None, delta=None,
+                 theta=None, phi=None, qp=None, qs=None, dtype=np.float32,
+                 comm=None, topology=None):
+        self.shape = tuple(int(s) for s in shape)
+        self.spacing = tuple(float(h) for h in spacing)
+        self.nbl = int(nbl)
+        self.space_order = int(space_order)
+        ndim = len(self.shape)
+        if origin is None:
+            origin = (0.0,) * ndim
+        self.origin_interior = tuple(float(o) for o in origin)
+
+        shape_pml = tuple(s + 2 * self.nbl for s in self.shape)
+        origin_pml = tuple(o - self.nbl * h for o, h in
+                           zip(self.origin_interior, self.spacing))
+        extent = tuple(h * (s - 1) for h, s in zip(self.spacing, shape_pml))
+        self.grid = Grid(shape=shape_pml, extent=extent, origin=origin_pml,
+                         dtype=dtype, comm=comm, topology=topology)
+
+        self._vp = self._to_array(vp)
+        self._vs = self._to_array(vs) if vs is not None else None
+        self._rho = self._to_array(rho) if rho is not None else None
+        self._epsilon = self._to_array(epsilon) if epsilon is not None \
+            else None
+        self._delta = self._to_array(delta) if delta is not None else None
+        self._theta = self._to_array(theta) if theta is not None else None
+        self._phi = self._to_array(phi) if phi is not None else None
+        self.qp = qp
+        self.qs = qs
+        self._functions = {}
+
+    # -- raw parameter handling -------------------------------------------------
+
+    def _to_array(self, value):
+        shape_pml = tuple(s + 2 * self.nbl for s in self.shape)
+        arr = np.empty(shape_pml, dtype=np.float32)
+        if np.isscalar(value):
+            arr.fill(float(value))
+        else:
+            value = np.asarray(value, dtype=np.float32)
+            if value.shape != self.shape:
+                raise ValueError("parameter shape %s != model shape %s"
+                                 % (value.shape, self.shape))
+            inner = tuple(slice(self.nbl, self.nbl + s) for s in self.shape)
+            # pad into the absorbing layer with edge values
+            pad = [(self.nbl, self.nbl)] * len(self.shape)
+            arr[...] = np.pad(value, pad, mode='edge')
+        return arr
+
+    @property
+    def vmax(self):
+        return float(self._vp.max())
+
+    @property
+    def vp(self):
+        return self._vp
+
+    @property
+    def critical_dt(self):
+        """CFL-stable timestep in ms (velocities are km/s, spacing m)."""
+        ndim = self.grid.dim
+        coeff = 0.38 if ndim == 3 else 0.42
+        return float(coeff * min(self.spacing) / self.vmax)
+
+    # -- symbolic parameter functions -----------------------------------------------
+
+    def _function(self, name, values):
+        if name not in self._functions:
+            f = Function(name=name, grid=self.grid,
+                         space_order=self.space_order)
+            f.data[:] = values
+            self._functions[name] = f
+        return self._functions[name]
+
+    @property
+    def m(self):
+        """Squared slowness 1/vp**2."""
+        return self._function('m', 1.0 / self._vp ** 2)
+
+    @property
+    def damp(self):
+        """Additive damping coefficient (for ``damp * u.dt`` terms)."""
+        shape_pml = tuple(s + 2 * self.nbl for s in self.shape)
+        return self._function('damp', damping_profile(
+            shape_pml, self.nbl, self.spacing, self.vmax))
+
+    @property
+    def mask(self):
+        """Multiplicative sponge mask (1 interior, decaying in the ABC)."""
+        shape_pml = tuple(s + 2 * self.nbl for s in self.shape)
+        profile = damping_profile(shape_pml, self.nbl, self.spacing,
+                                  self.vmax)
+        # convert additive coefficient to per-step multiplicative decay
+        decay = 1.0 / (1.0 + self.critical_dt * profile)
+        return self._function('mask', decay)
+
+    @property
+    def b(self):
+        """Buoyancy 1/rho."""
+        rho = self._rho if self._rho is not None else np.ones_like(self._vp)
+        return self._function('b', 1.0 / rho)
+
+    @property
+    def lam(self):
+        """First Lame parameter rho*(vp^2 - 2 vs^2)."""
+        if self._vs is None:
+            raise ValueError("lam requires vs")
+        rho = self._rho if self._rho is not None else np.ones_like(self._vp)
+        return self._function('lam',
+                              rho * (self._vp ** 2 - 2 * self._vs ** 2))
+
+    @property
+    def mu(self):
+        """Shear modulus rho*vs^2."""
+        if self._vs is None:
+            raise ValueError("mu requires vs")
+        rho = self._rho if self._rho is not None else np.ones_like(self._vp)
+        return self._function('mu', rho * self._vs ** 2)
+
+    @property
+    def pi(self):
+        """P-wave modulus rho*vp^2 (viscoelastic)."""
+        rho = self._rho if self._rho is not None else np.ones_like(self._vp)
+        return self._function('pi', rho * self._vp ** 2)
+
+    @property
+    def epsilon(self):
+        eps = self._epsilon if self._epsilon is not None \
+            else np.zeros_like(self._vp)
+        return self._function('epsilon', eps)
+
+    @property
+    def delta(self):
+        dlt = self._delta if self._delta is not None \
+            else np.zeros_like(self._vp)
+        return self._function('delta', dlt)
+
+    @property
+    def theta(self):
+        th = self._theta if self._theta is not None \
+            else np.zeros_like(self._vp)
+        return self._function('theta', th)
+
+    @property
+    def phi(self):
+        ph = self._phi if self._phi is not None else np.zeros_like(self._vp)
+        return self._function('phi', ph)
+
+    # -- viscoelastic relaxation times (single SLS mechanism) -------------------------
+
+    def relaxation_times(self, f0):
+        """(t_s, t_ep, t_es): stress and strain relaxation times for a
+        single standard-linear-solid mechanism at reference frequency f0.
+        """
+        qp = self.qp if self.qp is not None else 100.0
+        qs = self.qs if self.qs is not None else 70.0
+        w0 = 2.0 * np.pi * f0
+        t_s = (np.sqrt(1.0 + 1.0 / qp ** 2) - 1.0 / qp) / w0
+        t_ep = 1.0 / (w0 ** 2 * t_s)
+        t_es = (1.0 + w0 * qs * t_s) / (w0 * qs - w0 ** 2 * t_s)
+        return float(t_s), float(t_ep), float(t_es)
+
+    @property
+    def domain_size(self):
+        return tuple(h * (s - 1) for h, s in zip(self.spacing, self.shape))
+
+    def __repr__(self):
+        return ('SeismicModel(shape=%s, nbl=%d, so=%d, vmax=%.2f)'
+                % (self.shape, self.nbl, self.space_order, self.vmax))

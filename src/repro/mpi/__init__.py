@@ -1,0 +1,31 @@
+"""Simulated distributed-memory substrate.
+
+Provides everything the paper's generated code needs from MPI: an
+in-process message-passing layer with mpi4py semantics (:mod:`.sim`),
+Cartesian topologies (:mod:`.cart`), block domain decomposition
+(:mod:`.decomposition`, :mod:`.distributor`), logically-global distributed
+arrays (:mod:`.data`), the three halo-exchange patterns (:mod:`.halo`)
+and sparse-point routing (:mod:`.routing`).
+"""
+
+from .sim import (ANY_SOURCE, ANY_TAG, PROC_NULL, CompletedRequest,
+                  RecvRequest, RemoteRankError, Request, SimComm, SimWorld,
+                  parallel, run_parallel, serial_comm)
+from .cart import CartComm, compute_dims, create_cart, neighborhood_offsets
+from .decomposition import Decomposition
+from .distributor import Distributor
+from .data import Data, DimSpec
+from .halo import (BasicExchanger, DiagonalExchanger, FullExchanger,
+                   HaloWidths, core_region, make_exchanger,
+                   remainder_regions)
+from .routing import PointRouting, bilinear_coefficients, support_points
+
+__all__ = [
+    'ANY_SOURCE', 'ANY_TAG', 'PROC_NULL', 'CompletedRequest', 'RecvRequest',
+    'RemoteRankError', 'Request', 'SimComm', 'SimWorld', 'parallel',
+    'run_parallel', 'serial_comm', 'CartComm', 'compute_dims', 'create_cart',
+    'neighborhood_offsets', 'Decomposition', 'Distributor', 'Data',
+    'DimSpec', 'BasicExchanger', 'DiagonalExchanger', 'FullExchanger',
+    'HaloWidths', 'core_region', 'make_exchanger', 'remainder_regions',
+    'PointRouting', 'bilinear_coefficients', 'support_points',
+]

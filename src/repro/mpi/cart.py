@@ -1,0 +1,162 @@
+"""Cartesian process topologies (MPI_Cart_create / MPI_Dims_create).
+
+Devito logically partitions the grid over ranks using MPI's Cartesian
+topology abstraction; this module reproduces that machinery: balanced
+dimension factorization, rank<->coordinate mapping (C row-major order,
+like MPI), neighbor shifts, and full neighborhood enumeration (needed by
+the *diagonal* and *full* communication patterns, which also exchange
+corners).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .sim import PROC_NULL, SimComm
+
+__all__ = ['compute_dims', 'CartComm', 'neighborhood_offsets']
+
+
+def compute_dims(nprocs, ndims, given=None):
+    """Balanced factorization of ``nprocs`` over ``ndims`` dimensions.
+
+    Equivalent to ``MPI_Dims_create``: factors are as close to each other
+    as possible, sorted in non-increasing order.  Entries of ``given``
+    that are nonzero are kept fixed (the user-specified ``topology``
+    argument of ``Grid``).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    given = list(given) if given is not None else [0] * ndims
+    if len(given) != ndims:
+        raise ValueError("topology length %d != ndims %d"
+                         % (len(given), ndims))
+    fixed = 1
+    free_slots = []
+    for i, g in enumerate(given):
+        if g:
+            if nprocs % g and nprocs % fixed == 0:
+                pass  # validated below
+            fixed *= g
+        else:
+            free_slots.append(i)
+    if nprocs % fixed:
+        raise ValueError("fixed topology %s does not divide %d processes"
+                         % (given, nprocs))
+    remaining = nprocs // fixed
+    if not free_slots:
+        if remaining != 1:
+            raise ValueError("topology %s does not use all %d processes"
+                             % (given, nprocs))
+        return tuple(given)
+
+    # greedy: repeatedly assign the largest prime factor to the smallest slot
+    dims = [1] * len(free_slots)
+    for p in sorted(_prime_factors(remaining), reverse=True):
+        smallest = min(range(len(dims)), key=lambda i: dims[i])
+        dims[smallest] *= p
+    dims.sort(reverse=True)
+    out = list(given)
+    for slot, d in zip(free_slots, dims):
+        out[slot] = d
+    return tuple(out)
+
+
+def _prime_factors(n):
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def neighborhood_offsets(ndims, diagonals=True):
+    """All neighbor offsets of a rank in an ``ndims``-D Cartesian grid.
+
+    With ``diagonals`` this is the full Moore neighborhood (``3**n - 1``
+    offsets: 26 in 3D, matching Table I); without, only the faces
+    (``2*n``: 6 in 3D, the *basic* pattern).
+    """
+    if diagonals:
+        offs = [o for o in itertools.product((-1, 0, 1), repeat=ndims)
+                if any(o)]
+    else:
+        offs = []
+        for d in range(ndims):
+            for s in (-1, 1):
+                o = [0] * ndims
+                o[d] = s
+                offs.append(tuple(o))
+    return offs
+
+
+class CartComm(SimComm):
+    """A communicator with an attached Cartesian topology."""
+
+    def __init__(self, world, rank, dims, periods=None, comm_id=('cart',)):
+        super().__init__(world, rank, comm_id=comm_id)
+        self.dims = tuple(int(d) for d in dims)
+        if int(np.prod(self.dims)) != world.size:
+            raise ValueError("topology %s does not match world size %d"
+                             % (self.dims, world.size))
+        self.periods = tuple(periods) if periods is not None \
+            else (False,) * len(self.dims)
+        self.coords = self.Get_coords(rank)
+
+    @property
+    def ndims(self):
+        return len(self.dims)
+
+    def Get_coords(self, rank):
+        """Rank -> Cartesian coordinates (C row-major order, as MPI)."""
+        return tuple(int(c) for c in np.unravel_index(rank, self.dims))
+
+    def Get_cart_rank(self, coords):
+        """Cartesian coordinates -> rank; PROC_NULL if outside a
+        non-periodic boundary."""
+        wrapped = []
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                wrapped.append(c % d)
+            elif 0 <= c < d:
+                wrapped.append(c)
+            else:
+                return PROC_NULL
+        return int(np.ravel_multi_index(wrapped, self.dims))
+
+    def Shift(self, direction, disp=1):
+        """(source, dest) ranks for a shift along ``direction``."""
+        src = list(self.coords)
+        dst = list(self.coords)
+        src[direction] -= disp
+        dst[direction] += disp
+        return self.Get_cart_rank(src), self.Get_cart_rank(dst)
+
+    def neighbor(self, offset):
+        """Rank at ``coords + offset`` (PROC_NULL outside the domain)."""
+        coords = [c + o for c, o in zip(self.coords, offset)]
+        return self.Get_cart_rank(coords)
+
+    def neighborhood(self, diagonals=True):
+        """Mapping offset -> rank over the (Moore or face) neighborhood,
+        excluding PROC_NULL entries."""
+        out = {}
+        for off in neighborhood_offsets(self.ndims, diagonals=diagonals):
+            r = self.neighbor(off)
+            if r != PROC_NULL:
+                out[off] = r
+        return out
+
+
+def create_cart(comm, dims, periods=None):
+    """MPI_Cart_create: derive a Cartesian communicator from ``comm``."""
+    new_id = comm._id + ('cart%d' % next(comm._dup_seq),)
+    return CartComm(comm.world, comm.rank, dims, periods=periods,
+                    comm_id=new_id)

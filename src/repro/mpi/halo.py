@@ -1,0 +1,373 @@
+"""Runtime halo exchanges: the *basic*, *diagonal* and *full* patterns.
+
+These are the three computation/communication patterns of the paper's
+Section III-h (Table I, Figure 5):
+
+``basic``
+    Blocking point-to-point exchanges perpendicular to the Cartesian
+    planes, one dimension at a time (multi-step).  Corner data propagates
+    implicitly because each step's slabs include the halo regions already
+    updated by earlier steps.  Exchange buffers are allocated per call
+    ("C-land" allocation in the paper).
+
+``diagonal``
+    A single step of non-blocking exchanges over the full Moore
+    neighborhood (8 messages in 2D, 26 in 3D) including corners, using
+    buffers preallocated at operator-build time ("Python-land").
+
+``full``
+    Same message set as ``diagonal`` but split into ``begin``/``finish``
+    so the compiler can overlap the CORE computation with communication
+    (Listing 8), optionally prodding the progress engine like the
+    sacrificed OpenMP thread calling ``MPI_Test``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .sim import PROC_NULL, Request
+
+__all__ = ['HaloWidths', 'BasicExchanger', 'DiagonalExchanger',
+           'FullExchanger', 'make_exchanger', 'core_region',
+           'remainder_regions']
+
+
+class HaloWidths:
+    """Per-dimension (left, right) halo extents actually needed.
+
+    The compiler derives these from the stencil access offsets — they can
+    be narrower than the allocated halo (an ablation knob).
+    """
+
+    def __init__(self, widths):
+        self.widths = tuple((int(l), int(r)) for l, r in widths)
+
+    def __iter__(self):
+        return iter(self.widths)
+
+    def __getitem__(self, i):
+        return self.widths[i]
+
+    def __len__(self):
+        return len(self.widths)
+
+    def __eq__(self, other):
+        return isinstance(other, HaloWidths) and self.widths == other.widths
+
+    def __hash__(self):
+        return hash(self.widths)
+
+    def __repr__(self):
+        return 'HaloWidths(%s)' % (list(self.widths),)
+
+
+class _ExchangerBase:
+    """Common geometry for halo exchanges on one function's data.
+
+    Parameters
+    ----------
+    distributor : Distributor
+    halo : tuple of (left, right)
+        *Allocated* halo per decomposed grid dimension (array layout).
+    widths : HaloWidths
+        Halo extents to actually exchange.
+    tag_base : int
+        Disambiguates concurrent exchanges of different functions.
+    """
+
+    def __init__(self, distributor, halo, widths, tag_base=0):
+        self.distributor = distributor
+        self.halo = tuple(halo)
+        self.widths = HaloWidths(widths)
+        self.tag_base = int(tag_base)
+        self.ndim = distributor.ndim
+        if len(self.halo) != self.ndim or len(self.widths) != self.ndim:
+            raise ValueError("halo/widths dimensionality mismatch")
+        for (wl, wr), (hl, hr) in zip(self.widths, self.halo):
+            if wl > hl or wr > hr:
+                raise ValueError("required halo widths %s exceed allocated "
+                                 "halo %s" % (self.widths, self.halo))
+        self.local_shape = distributor.shape_local
+        #: number of messages issued per exchange (for instrumentation)
+        self.nmessages = 0
+
+    # -- region algebra ----------------------------------------------------------
+
+    def _domain_slice(self, d, lo_extend=0, hi_extend=0):
+        """Slice of dim ``d`` covering the domain, optionally extended
+        into the halo (array coordinates)."""
+        hl = self.halo[d][0]
+        return slice(hl - lo_extend, hl + self.local_shape[d] + hi_extend)
+
+    def _send_region(self, offsets, extended_dims=()):
+        """Array-coordinate region sent toward neighbor ``offsets``."""
+        key = []
+        for d, off in enumerate(offsets):
+            hl = self.halo[d][0]
+            n = self.local_shape[d]
+            wl, wr = self.widths[d]
+            if off == 0:
+                if d in extended_dims:
+                    # include already-updated halo (multi-step propagation)
+                    key.append(slice(hl - wl, hl + n + wr))
+                else:
+                    key.append(self._domain_slice(d))
+            elif off > 0:
+                # neighbor's left halo = my last wl points
+                key.append(slice(hl + n - wl, hl + n))
+            else:
+                # neighbor's right halo = my first wr points
+                key.append(slice(hl, hl + wr))
+        return tuple(key)
+
+    def _recv_region(self, offsets, extended_dims=()):
+        """Array-coordinate halo region receiving from neighbor ``offsets``."""
+        key = []
+        for d, off in enumerate(offsets):
+            hl = self.halo[d][0]
+            n = self.local_shape[d]
+            wl, wr = self.widths[d]
+            if off == 0:
+                if d in extended_dims:
+                    key.append(slice(hl - wl, hl + n + wr))
+                else:
+                    key.append(self._domain_slice(d))
+            elif off > 0:
+                # from my right neighbor into my right halo
+                key.append(slice(hl + n, hl + n + wr))
+            else:
+                key.append(slice(hl - wl, hl))
+        return tuple(key)
+
+    def _tag(self, offsets):
+        """A tag unique to (function, direction): receiver matches the
+        sender's direction as seen from the sender."""
+        code = 0
+        for off in offsets:
+            code = code * 3 + (off + 1)
+        return self.tag_base + code
+
+    def _active_dims(self):
+        """Decomposed dimensions with a nonzero exchange width."""
+        return [d for d in range(self.ndim)
+                if self.distributor.is_distributed(d)
+                and (self.widths[d][0] or self.widths[d][1])]
+
+
+class BasicExchanger(_ExchangerBase):
+    """Multi-step synchronous face exchanges (paper's *basic* mode)."""
+
+    diagonals = False
+
+    def exchange(self, view):
+        """Update all halo regions of ``view`` (array incl. halo)."""
+        comm = self.distributor.comm
+        done_dims = []
+        self.nmessages = 0
+        for d in self._active_dims():
+            for sign in (1, -1):
+                offsets = tuple(sign if i == d else 0
+                                for i in range(self.ndim))
+                dest = self.distributor.neighbor(offsets)
+                src = self.distributor.neighbor(
+                    tuple(-o for o in offsets))
+                ext = tuple(done_dims)
+                sendbuf = None
+                if dest != PROC_NULL:
+                    # allocated at call time, as in the paper's basic mode
+                    sendbuf = np.ascontiguousarray(
+                        view[self._send_region(offsets, ext)])
+                    self.nmessages += 1
+                tag = self._tag(offsets)
+                if dest != PROC_NULL and src != PROC_NULL:
+                    recv_region = self._recv_region(
+                        tuple(-o for o in offsets), ext)
+                    recvbuf = np.empty(view[recv_region].shape,
+                                       dtype=view.dtype)
+                    comm.sendrecv(sendbuf, dest, sendtag=tag,
+                                  source=src, recvtag=tag, recvbuf=recvbuf)
+                    view[recv_region] = recvbuf
+                elif dest != PROC_NULL:
+                    comm.send(sendbuf, dest, tag=tag)
+                elif src != PROC_NULL:
+                    recv_region = self._recv_region(
+                        tuple(-o for o in offsets), ext)
+                    recvbuf = np.empty(view[recv_region].shape,
+                                       dtype=view.dtype)
+                    comm.recv(buf=recvbuf, source=src, tag=tag)
+                    view[recv_region] = recvbuf
+            done_dims.append(d)
+
+
+class DiagonalExchanger(_ExchangerBase):
+    """Single-step neighborhood exchange with corners (*diagonal* mode)."""
+
+    diagonals = True
+
+    def __init__(self, distributor, halo, widths, tag_base=0):
+        super().__init__(distributor, halo, widths, tag_base=tag_base)
+        active = set(self._active_dims())
+        self._neighbors = {}
+        for offsets, rank in distributor.neighborhood(diagonals=True).items():
+            if any(offsets[d] != 0 and d not in active
+                   for d in range(self.ndim)):
+                continue
+            if not any(offsets):
+                continue
+            self._neighbors[offsets] = rank
+        # Python-land preallocated buffers, one per neighbor (paper Table I)
+        self._sendbufs = {}
+        self._recvbufs = {}
+
+    def _buffers(self, view, offsets):
+        send_region = self._send_region(offsets)
+        recv_region = self._recv_region(offsets)
+        shape_s = view[send_region].shape
+        shape_r = view[recv_region].shape
+        sb = self._sendbufs.get(offsets)
+        if sb is None or sb.shape != shape_s or sb.dtype != view.dtype:
+            sb = np.empty(shape_s, dtype=view.dtype)
+            self._sendbufs[offsets] = sb
+        rb = self._recvbufs.get(offsets)
+        if rb is None or rb.shape != shape_r or rb.dtype != view.dtype:
+            rb = np.empty(shape_r, dtype=view.dtype)
+            self._recvbufs[offsets] = rb
+        return sb, rb, send_region, recv_region
+
+    def begin(self, view):
+        """Post all sends/receives; return the pending receive list."""
+        comm = self.distributor.comm
+        pending = []
+        self.nmessages = 0
+        for offsets, rank in self._neighbors.items():
+            sb, rb, send_region, recv_region = self._buffers(view, offsets)
+            # pack (OpenMP-threaded in the paper; vectorized copy here)
+            sb[...] = view[send_region]
+            comm.isend(sb, rank, tag=self._tag(offsets))
+            self.nmessages += 1
+            # matching receive: neighbor sent with the direction as seen
+            # from *their* side, i.e. the negated offsets
+            req = comm.irecv(buf=rb,
+                             source=rank,
+                             tag=self._tag(tuple(-o for o in offsets)))
+            pending.append((req, rb, recv_region))
+        return pending
+
+    def finish(self, view, pending):
+        """Wait for all receives and unpack into the halo."""
+        for req, rb, recv_region in pending:
+            req.wait()
+            view[recv_region] = rb
+
+    def exchange(self, view):
+        self.finish(view, self.begin(view))
+
+
+class FullExchanger(DiagonalExchanger):
+    """Asynchronous exchange for communication/computation overlap.
+
+    Identical message set to :class:`DiagonalExchanger`; the compiler
+    emits ``begin`` before the CORE computation and ``finish`` before the
+    REMAINDER computation (Listing 8).  ``progress_thread`` emulates the
+    sacrificed OpenMP worker that periodically calls ``MPI_Test``.
+    """
+
+    def __init__(self, distributor, halo, widths, tag_base=0,
+                 progress=False, test_period=1e-4):
+        super().__init__(distributor, halo, widths, tag_base=tag_base)
+        self.progress = progress
+        self.test_period = test_period
+        self._stop = None
+        self._thread = None
+
+    def begin(self, view):
+        pending = super().begin(view)
+        if self.progress and pending:
+            self._stop = threading.Event()
+
+            def prod():
+                while not self._stop.is_set():
+                    for req, _, _ in pending:
+                        req.test()
+                    self._stop.wait(self.test_period)
+
+            self._thread = threading.Thread(target=prod, daemon=True,
+                                            name='mpi-progress')
+            self._thread.start()
+        return pending
+
+    def finish(self, view, pending):
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        super().finish(view, pending)
+
+
+def make_exchanger(mode, distributor, halo, widths, tag_base=0, **kwargs):
+    """Factory keyed on the paper's mode names."""
+    table = {'basic': BasicExchanger,
+             'diag': DiagonalExchanger,
+             'diagonal': DiagonalExchanger,
+             'diag2': DiagonalExchanger,
+             'full': FullExchanger}
+    try:
+        cls = table[mode]
+    except KeyError:
+        raise ValueError("unknown MPI mode %r (expected basic/diagonal/full)"
+                         % (mode,))
+    return cls(distributor, halo, widths, tag_base=tag_base, **kwargs)
+
+
+def core_region(distributor, widths):
+    """The CORE area: domain points whose stencil never reads halo data.
+
+    Returned as per-dimension (start, stop) in *domain-local* coordinates
+    (0 = first owned point).  At global boundaries the core extends to the
+    domain edge (no neighbor to wait for).
+    """
+    out = []
+    for d, (wl, wr) in enumerate(HaloWidths(widths)):
+        n = distributor.shape_local[d]
+        lo = 0
+        hi = n
+        if distributor.is_distributed(d):
+            if not distributor.is_boundary_rank(d, -1):
+                lo = min(wl, n)
+            if not distributor.is_boundary_rank(d, +1):
+                hi = max(hi - wr, lo)
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def remainder_regions(distributor, widths):
+    """The REMAINDER (OWNED) areas: domain minus CORE, as disjoint boxes.
+
+    Boxes are produced dimension-major: for dimension ``d``, the left and
+    right slabs span the full domain in dimensions < d and are clamped to
+    the core range in dimensions already peeled — yielding the faces and
+    vector-like areas of the paper's Figure 5c.
+    """
+    core = core_region(distributor, widths)
+    shape = distributor.shape_local
+    boxes = []
+    prefix = []  # (start, stop) ranges already restricted to core
+    for d in range(len(shape)):
+        lo, hi = core[d]
+        full = [(0, shape[i]) for i in range(len(shape))]
+        for i, rng in enumerate(prefix):
+            full[i] = rng
+        if lo > 0:
+            box = list(full)
+            box[d] = (0, lo)
+            boxes.append(tuple(box))
+        if hi < shape[d]:
+            box = list(full)
+            box[d] = (hi, shape[d])
+            boxes.append(tuple(box))
+        prefix.append((lo, hi))
+    return [b for b in boxes
+            if all(stop > start for start, stop in b)]

@@ -1,0 +1,450 @@
+"""An in-process simulated MPI.
+
+The paper's generated code runs under real MPI on a cluster; this module
+provides a faithful single-process stand-in: each rank is a thread, and a
+:class:`SimComm` exposes the mpi4py surface the generated communication
+schedules need — blocking/non-blocking point-to-point with MPI matching
+semantics (source/tag wildcards, per-pair non-overtaking), requests with
+``wait``/``test``, and the usual collectives.
+
+Semantics notes
+---------------
+* ``Send`` is *buffered* (copies the payload and returns immediately), the
+  behaviour of eager-protocol sends for the small-to-medium messages halo
+  exchanges produce.  This cannot deadlock, like ``MPI_Sendrecv``-based
+  schedules on real implementations.
+* Collectives are built over point-to-point using a reserved tag space and
+  per-communicator sequence numbers, so they are safe to interleave with
+  user messages as long as ranks call them SPMD-style (an MPI requirement).
+* If any rank raises, every blocked peer is woken with
+  :class:`RemoteRankError` instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import itertools
+import threading
+
+import numpy as np
+
+__all__ = ['ANY_SOURCE', 'ANY_TAG', 'PROC_NULL', 'SimWorld', 'SimComm',
+           'Request', 'CompletedRequest', 'RecvRequest', 'RemoteRankError',
+           'parallel', 'run_parallel', 'serial_comm']
+
+ANY_SOURCE = -101
+ANY_TAG = -102
+PROC_NULL = -1
+
+#: collectives use tags below this threshold; user tags must be >= 0
+_COLLECTIVE_TAG_BASE = -10_000
+
+
+class RemoteRankError(RuntimeError):
+    """Raised in ranks blocked on communication when another rank failed."""
+
+
+class _Message:
+    __slots__ = ('comm_id', 'source', 'tag', 'payload')
+
+    def __init__(self, comm_id, source, tag, payload):
+        self.comm_id = comm_id
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+
+
+def _copy_payload(obj):
+    if isinstance(obj, np.ndarray):
+        return np.ascontiguousarray(obj).copy()
+    return _copy.deepcopy(obj)
+
+
+class SimWorld:
+    """The shared state of a simulated MPI job: one mailbox per rank."""
+
+    def __init__(self, size):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self._boxes = [[] for _ in range(size)]
+        self._conds = [threading.Condition() for _ in range(size)]
+        self._failed = threading.Event()
+
+    # -- transport ---------------------------------------------------------
+
+    def deliver(self, dest, message):
+        if not 0 <= dest < self.size:
+            raise ValueError("invalid destination rank %d" % dest)
+        cond = self._conds[dest]
+        with cond:
+            self._boxes[dest].append(message)
+            cond.notify_all()
+
+    def _find(self, dest, comm_id, source, tag):
+        box = self._boxes[dest]
+        for i, msg in enumerate(box):
+            if msg.comm_id != comm_id:
+                continue
+            if source != ANY_SOURCE and msg.source != source:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            return i
+        return None
+
+    def probe(self, dest, comm_id, source, tag):
+        """Non-destructively check for a matching message."""
+        cond = self._conds[dest]
+        with cond:
+            return self._find(dest, comm_id, source, tag) is not None
+
+    def collect(self, dest, comm_id, source, tag, block=True, timeout=60.0):
+        """Remove and return the first matching message (or None)."""
+        cond = self._conds[dest]
+        with cond:
+            while True:
+                if self._failed.is_set():
+                    raise RemoteRankError("a peer rank failed")
+                i = self._find(dest, comm_id, source, tag)
+                if i is not None:
+                    return self._boxes[dest].pop(i)
+                if not block:
+                    return None
+                if not cond.wait(timeout=timeout):
+                    raise RemoteRankError(
+                        "timed out waiting for message (source=%s, tag=%s) "
+                        "on rank %d — likely communication deadlock"
+                        % (source, tag, dest))
+
+    def fail(self):
+        """Mark the job failed and wake all blocked ranks."""
+        self._failed.set()
+        for cond in self._conds:
+            with cond:
+                cond.notify_all()
+
+
+class Request:
+    """Base class of non-blocking operation handles."""
+
+    def wait(self):
+        raise NotImplementedError
+
+    def test(self):
+        raise NotImplementedError
+
+    # mpi4py-style aliases
+    def Wait(self):
+        return self.wait()
+
+    def Test(self):
+        return self.test()
+
+    @staticmethod
+    def waitall(requests):
+        return [req.wait() for req in requests]
+
+    Waitall = waitall
+
+
+class CompletedRequest(Request):
+    """A request that completed at initiation (buffered sends)."""
+
+    def __init__(self, value=None):
+        self._value = value
+
+    def wait(self):
+        return self._value
+
+    def test(self):
+        return True, self._value
+
+
+class RecvRequest(Request):
+    """Handle for a pending non-blocking receive."""
+
+    def __init__(self, comm, source, tag, buf=None):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._buf = buf
+        self._done = False
+        self._value = None
+
+    def wait(self):
+        if not self._done:
+            msg = self._comm.world.collect(self._comm.rank, self._comm._id,
+                                           self._source, self._tag)
+            self._value = self._comm._land(msg.payload, self._buf)
+            self._done = True
+        return self._value
+
+    def test(self):
+        if self._done:
+            return True, self._value
+        msg = self._comm.world.collect(self._comm.rank, self._comm._id,
+                                       self._source, self._tag, block=False)
+        if msg is None:
+            return False, None
+        self._value = self._comm._land(msg.payload, self._buf)
+        self._done = True
+        return True, self._value
+
+
+class SimComm:
+    """A communicator over a :class:`SimWorld` (mpi4py-like surface)."""
+
+    def __init__(self, world, rank, comm_id=('world',)):
+        self.world = world
+        self.rank = rank
+        self._id = comm_id
+        self._coll_seq = itertools.count()
+        self._dup_seq = itertools.count()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def size(self):
+        return self.world.size
+
+    def Get_rank(self):
+        return self.rank
+
+    def Get_size(self):
+        return self.size
+
+    def Dup(self):
+        """A new communicator with an isolated message space.
+
+        SPMD-deterministic: all ranks must call in the same order.
+        """
+        new_id = self._id + ('dup%d' % next(self._dup_seq),)
+        return SimComm(self.world, self.rank, comm_id=new_id)
+
+    def _derived(self, label, cls, *args, **kwargs):
+        new_id = self._id + (label,)
+        return cls(self.world, self.rank, *args, comm_id=new_id, **kwargs)
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def send(self, obj, dest, tag=0):
+        if dest == PROC_NULL:
+            return
+        self.world.deliver(dest, _Message(self._id, self.rank, tag,
+                                          _copy_payload(obj)))
+
+    Send = send
+
+    def isend(self, obj, dest, tag=0):
+        self.send(obj, dest, tag=tag)
+        return CompletedRequest()
+
+    Isend = isend
+
+    def _land(self, payload, buf):
+        if buf is not None and isinstance(buf, np.ndarray):
+            flat = np.asarray(payload)
+            buf[...] = flat.reshape(buf.shape)
+            return buf
+        return payload
+
+    def recv(self, buf=None, source=ANY_SOURCE, tag=ANY_TAG):
+        if source == PROC_NULL:
+            return buf
+        msg = self.world.collect(self.rank, self._id, source, tag)
+        return self._land(msg.payload, buf)
+
+    def Recv(self, buf, source=ANY_SOURCE, tag=ANY_TAG):
+        return self.recv(buf=buf, source=source, tag=tag)
+
+    def irecv(self, buf=None, source=ANY_SOURCE, tag=ANY_TAG):
+        if source == PROC_NULL:
+            return CompletedRequest(buf)
+        return RecvRequest(self, source, tag, buf=buf)
+
+    Irecv = irecv
+
+    def sendrecv(self, sendobj, dest, sendtag=0, source=ANY_SOURCE,
+                 recvtag=ANY_TAG, recvbuf=None):
+        """Combined send/recv; deadlock-free like MPI_Sendrecv."""
+        self.send(sendobj, dest, tag=sendtag)
+        if source == PROC_NULL:
+            return recvbuf
+        return self.recv(buf=recvbuf, source=source, tag=recvtag)
+
+    Sendrecv = sendrecv
+
+    def probe(self, source=ANY_SOURCE, tag=ANY_TAG):
+        return self.world.probe(self.rank, self._id, source, tag)
+
+    # -- collectives -----------------------------------------------------------
+
+    def _ctag(self):
+        return _COLLECTIVE_TAG_BASE - next(self._coll_seq)
+
+    def barrier(self):
+        self.allgather(None)
+
+    Barrier = barrier
+
+    def bcast(self, obj, root=0):
+        tag = self._ctag()
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=tag)
+            return _copy_payload(obj)
+        return self.recv(source=root, tag=tag)
+
+    Bcast = bcast
+
+    def gather(self, obj, root=0):
+        tag = self._ctag()
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = _copy_payload(obj)
+            for source in range(self.size):
+                if source != root:
+                    out[source] = self.recv(source=source, tag=tag)
+            return out
+        self.send(obj, root, tag=tag)
+        return None
+
+    def scatter(self, objs, root=0):
+        tag = self._ctag()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter needs one object per rank")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(objs[dest], dest, tag=tag)
+            return _copy_payload(objs[root])
+        return self.recv(source=root, tag=tag)
+
+    def allgather(self, obj):
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj, op=None, root=0):
+        gathered = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        return _apply_reduction(gathered, op)
+
+    def allreduce(self, obj, op=None):
+        reduced = self.reduce(obj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    Allreduce = allreduce
+
+    def alltoall(self, objs):
+        tag = self._ctag()
+        if objs is None or len(objs) != self.size:
+            raise ValueError("alltoall needs one object per rank")
+        for dest in range(self.size):
+            if dest != self.rank:
+                self.send(objs[dest], dest, tag=tag)
+        out = [None] * self.size
+        out[self.rank] = _copy_payload(objs[self.rank])
+        for source in range(self.size):
+            if source != self.rank:
+                out[source] = self.recv(source=source, tag=tag)
+        return out
+
+
+def _apply_reduction(values, op):
+    if op is None or op == 'sum':
+        result = values[0]
+        for v in values[1:]:
+            result = result + v
+        return result
+    if op == 'max':
+        result = values[0]
+        for v in values[1:]:
+            result = np.maximum(result, v) if isinstance(
+                result, np.ndarray) else max(result, v)
+        return result
+    if op == 'min':
+        result = values[0]
+        for v in values[1:]:
+            result = np.minimum(result, v) if isinstance(
+                result, np.ndarray) else min(result, v)
+        return result
+    if op == 'prod':
+        result = values[0]
+        for v in values[1:]:
+            result = result * v
+        return result
+    if callable(op):
+        result = values[0]
+        for v in values[1:]:
+            result = op(result, v)
+        return result
+    raise ValueError("unknown reduction op %r" % (op,))
+
+
+def serial_comm():
+    """A single-rank communicator (the no-MPI default)."""
+    return SimComm(SimWorld(1), 0)
+
+
+def run_parallel(fn, ranks, *args, timeout=600.0, **kwargs):
+    """Run ``fn(comm, *args, **kwargs)`` SPMD-style on ``ranks`` threads.
+
+    Returns the per-rank return values.  The first exception raised by any
+    rank is re-raised in the caller (peers blocked on communication are
+    woken with :class:`RemoteRankError`).
+    """
+    world = SimWorld(ranks)
+    results = [None] * ranks
+    errors = []
+    lock = threading.Lock()
+
+    def body(rank):
+        comm = SimComm(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+            with lock:
+                errors.append((rank, exc))
+            world.fail()
+
+    threads = [threading.Thread(target=body, args=(r,), daemon=True,
+                                name='sim-mpi-rank-%d' % r)
+               for r in range(ranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world.fail()
+            raise RemoteRankError("rank thread did not terminate "
+                                  "(deadlock?)")
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        rank, exc = errors[0]
+        primary = [e for e in errors if not isinstance(e[1], RemoteRankError)]
+        if primary:
+            rank, exc = primary[0]
+        raise exc
+    return results
+
+
+def parallel(ranks, **run_kwargs):
+    """Decorator form of :func:`run_parallel`.
+
+    >>> @parallel(ranks=4)
+    ... def job(comm):
+    ...     return comm.rank
+    >>> job()
+    [0, 1, 2, 3]
+    """
+    def wrap(fn):
+        def invoke(*args, **kwargs):
+            return run_parallel(fn, ranks, *args, timeout=run_kwargs.get(
+                'timeout', 600.0), **kwargs)
+        invoke.__name__ = getattr(fn, '__name__', 'parallel_job')
+        invoke.__doc__ = fn.__doc__
+        return invoke
+    return wrap

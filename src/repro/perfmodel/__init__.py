@@ -1,0 +1,21 @@
+"""Calibrated analytic performance model regenerating the paper's
+evaluation (Figures 7-24, Tables III-XXXIV)."""
+
+from .machine import ARCHER2, TURSA, Machine
+from .kernels import BASE_CPU, BASE_GPU, KERNEL_SPECS, KernelSpec
+from .scaling import ScalingModel, strong_scaling_table, weak_scaling_table
+from .roofline import (ARCHER2_ROOF, TURSA_ROOF, RooflinePlatform,
+                       attainable, measured_roofline_points,
+                       roofline_points)
+from .report import (all_cpu_tables, all_gpu_tables, cpu_strong_rows,
+                     format_table, gpu_strong_rows, shape_metrics,
+                     weak_rows)
+from . import paper_data
+
+__all__ = ['ARCHER2', 'TURSA', 'Machine', 'BASE_CPU', 'BASE_GPU',
+           'KERNEL_SPECS', 'KernelSpec', 'ScalingModel',
+           'strong_scaling_table', 'weak_scaling_table', 'ARCHER2_ROOF',
+           'TURSA_ROOF', 'RooflinePlatform', 'attainable',
+           'measured_roofline_points', 'roofline_points', 'all_cpu_tables',
+           'all_gpu_tables', 'cpu_strong_rows', 'format_table',
+           'gpu_strong_rows', 'shape_metrics', 'weak_rows', 'paper_data']

@@ -1,0 +1,120 @@
+"""Table/figure regeneration harness.
+
+One function per paper artifact: each returns the model's rows in the
+paper's layout and (where the paper published numbers) the reference
+values alongside, and can render a markdown table.  The benchmark suite
+calls these; ``EXPERIMENTS.md`` is generated from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import paper_data as pd
+from .scaling import strong_scaling_table, weak_scaling_table
+
+__all__ = ['cpu_strong_rows', 'gpu_strong_rows', 'weak_rows',
+           'format_table', 'shape_metrics', 'all_cpu_tables',
+           'all_gpu_tables']
+
+_MODE_LABEL = {'basic': 'Basic', 'diag': 'Diag', 'full': 'Full'}
+
+
+def cpu_strong_rows(kernel, so):
+    """Model + paper rows for one CPU strong-scaling table (III-XVIII)."""
+    size = pd.PROBLEM_SIZE_CPU[kernel]
+    model = strong_scaling_table(kernel, so, size)
+    paper = pd.CPU_STRONG[kernel][so]
+    return {'kernel': kernel, 'so': so, 'size': size, 'nodes': pd.NODES,
+            'model': model, 'paper': paper}
+
+
+def gpu_strong_rows(kernel, so):
+    """Model + paper rows for one GPU strong-scaling table (XIX-XXXIV)."""
+    size = pd.PROBLEM_SIZE_GPU[kernel]
+    model = strong_scaling_table(kernel, so, size, gpu=True,
+                                 modes=('basic',))
+    paper = {'basic': pd.GPU_STRONG[kernel][so]}
+    return {'kernel': kernel, 'so': so, 'size': size, 'nodes': pd.NODES,
+            'model': model, 'paper': paper}
+
+
+def weak_rows(kernel, so, gpu=False):
+    """Weak-scaling runtimes per timestep (Figures 12, 21-24)."""
+    modes = ('basic',) if gpu else ('basic', 'diag', 'full')
+    model = weak_scaling_table(kernel, so, local_size=pd.WEAK_LOCAL_SIZE,
+                               gpu=gpu, modes=modes)
+    return {'kernel': kernel, 'so': so, 'gpu': gpu, 'nodes': pd.NODES,
+            'model': model}
+
+
+def format_table(rows, metric='GPts/s'):
+    """Render one table as markdown with model vs paper rows."""
+    out = []
+    title = '%s so-%02d (size %d^3) — %s' % (rows['kernel'], rows['so'],
+                                             rows.get('size', 0), metric)
+    out.append('### %s' % title)
+    header = '| mode | ' + ' | '.join(str(n) for n in rows['nodes']) + ' |'
+    out.append(header)
+    out.append('|' + '---|' * (len(rows['nodes']) + 1))
+    for mode, values in rows['model'].items():
+        cells = ' | '.join('%.1f' % v for v in values)
+        out.append('| %s (model) | %s |' % (_MODE_LABEL.get(mode, mode),
+                                            cells))
+        paper = rows.get('paper', {}).get(mode)
+        if paper is not None:
+            cells = ' | '.join('%.1f' % v if v is not None else '-'
+                               for v in paper)
+            out.append('| %s (paper) | %s |'
+                       % (_MODE_LABEL.get(mode, mode), cells))
+    return '\n'.join(out)
+
+
+def shape_metrics():
+    """Aggregate fidelity metrics of the reproduction vs the paper.
+
+    Returns a dict with: mean/median relative error over all published
+    CPU and GPU cells, and the basic-vs-diagonal winner agreement rate
+    (cells where the paper shows a >3% gap).
+    """
+    errs, gerrs = [], []
+    wok = wtot = 0
+    for kernel in pd.KERNELS:
+        for so in pd.SDOS:
+            rows = cpu_strong_rows(kernel, so)
+            for mode in ('basic', 'diag', 'full'):
+                for mv, pv in zip(rows['model'][mode], rows['paper'][mode]):
+                    if pv is not None:
+                        errs.append(abs(mv - pv) / pv)
+            for ni in range(len(pd.NODES)):
+                pb = rows['paper']['basic'][ni]
+                pdg = rows['paper']['diag'][ni]
+                if pb is None or pdg is None:
+                    continue
+                if abs(pb - pdg) / max(pb, pdg) < 0.03:
+                    continue
+                wtot += 1
+                wok += ((rows['model']['basic'][ni] >
+                         rows['model']['diag'][ni]) == (pb > pdg))
+            grows = gpu_strong_rows(kernel, so)
+            for mv, pv in zip(grows['model']['basic'],
+                              grows['paper']['basic']):
+                gerrs.append(abs(mv - pv) / pv)
+    return {
+        'cpu_cells': len(errs),
+        'cpu_mean_rel_err': float(np.mean(errs)),
+        'cpu_median_rel_err': float(np.median(errs)),
+        'gpu_cells': len(gerrs),
+        'gpu_mean_rel_err': float(np.mean(gerrs)),
+        'gpu_median_rel_err': float(np.median(gerrs)),
+        'winner_agreement': wok / wtot if wtot else 1.0,
+        'winner_cells': wtot,
+    }
+
+
+def all_cpu_tables():
+    return [cpu_strong_rows(k, so) for k in pd.KERNELS for so in pd.SDOS]
+
+
+def all_gpu_tables():
+    return [gpu_strong_rows(k, so) for k in pd.KERNELS for so in pd.SDOS]

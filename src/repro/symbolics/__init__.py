@@ -1,0 +1,35 @@
+"""A compact symbolic-math engine (the SymPy substitute Devito builds on).
+
+Public surface: expression construction (:class:`Symbol`, arithmetic
+operators), exact numbers, elementary functions, unevaluated
+:class:`Derivative` nodes with Fornberg finite-difference expansion,
+linear :func:`solve`, flop-reducing rewrites (CSE, factorization,
+invariant hoisting) and C/NumPy printers.
+"""
+
+from .expr import (Add, Atom, Expr, Float, Half, Indexed, Integer, MinusOne,
+                   Mul, Number, One, Pow, Rational, S, Symbol, Zero,
+                   contains, count_ops, expand, free_symbols, indexeds,
+                   linear_coeffs, postorder, preorder, sympify, xreplace)
+from .functions import (FUNCTION_REGISTRY, Abs, AppliedFunction, Max, Min,
+                        ceiling, cos, exp, floor, log, sin, sqrt, tan)
+from .fd import fd_weights, fornberg_weights, sample_offsets
+from .derivative import (Derivative, expand_derivatives, expr_stagger,
+                         indexify)
+from .solve import solve
+from .rewriting import (Temp, collect_mul_coeff, cse, factorize,
+                        hoist_invariants)
+from .printing import CPrinter, PyPrinter, ccode, pycode
+
+__all__ = [  # noqa: F405
+    'Add', 'Atom', 'Expr', 'Float', 'Half', 'Indexed', 'Integer', 'MinusOne',
+    'Mul', 'Number', 'One', 'Pow', 'Rational', 'S', 'Symbol', 'Zero',
+    'contains', 'count_ops', 'expand', 'free_symbols', 'indexeds',
+    'linear_coeffs', 'postorder', 'preorder', 'sympify', 'xreplace',
+    'FUNCTION_REGISTRY', 'Abs', 'AppliedFunction', 'Max', 'Min', 'ceiling',
+    'cos', 'exp', 'floor', 'log', 'sin', 'sqrt', 'tan',
+    'fd_weights', 'fornberg_weights', 'sample_offsets',
+    'Derivative', 'expand_derivatives', 'expr_stagger', 'indexify',
+    'solve', 'Temp', 'collect_mul_coeff', 'cse', 'factorize',
+    'hoist_invariants', 'CPrinter', 'PyPrinter', 'ccode', 'pycode',
+]

@@ -1,0 +1,851 @@
+"""Core symbolic expression engine.
+
+This module implements the small computer-algebra system that the rest of
+the stack is built on.  It plays the role SymPy plays for Devito: immutable
+expression trees with canonicalizing constructors (flattening, numeric
+folding, like-term collection), exact rational arithmetic (needed for
+finite-difference weights), substitution and traversal utilities.
+
+Design notes
+------------
+* Expressions are immutable and hash-cached.  ``Add``/``Mul``/``Pow`` go
+  through canonicalizing ``make`` classmethods; the Python-level operators
+  (``+``, ``*``, ...) route through those.
+* Numbers are exact where possible: ``Integer`` and ``Rational`` fold via
+  :class:`fractions.Fraction`; any ``Float`` contaminates a fold to float,
+  mirroring SymPy semantics.
+* Ordering of ``Add``/``Mul`` operands is canonical (class rank, then the
+  cached string form), which makes structural equality reliable and
+  printing deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from functools import reduce
+
+__all__ = [
+    'Expr', 'Atom', 'Symbol', 'Number', 'Integer', 'Rational', 'Float',
+    'Add', 'Mul', 'Pow', 'Indexed', 'S', 'sympify', 'Zero', 'One',
+    'MinusOne', 'Half', 'preorder', 'postorder', 'xreplace', 'contains',
+    'count_ops', 'expand', 'linear_coeffs', 'free_symbols', 'indexeds',
+]
+
+
+class Expr:
+    """Base class of all symbolic expressions."""
+
+    __slots__ = ('args', '_hash', '_str', '_skey')
+
+    #: rank used for canonical ordering of operands (smaller sorts first)
+    _class_rank = 50
+
+    is_Number = False
+    is_Atom = False
+    is_Add = False
+    is_Mul = False
+    is_Pow = False
+    is_Indexed = False
+    is_Symbol = False
+    is_Function = False
+    is_Derivative = False
+
+    def __init__(self, *args):
+        self.args = args
+        self._hash = None
+        self._str = None
+        self._skey = None
+
+    # -- construction helpers ------------------------------------------------
+
+    @property
+    def func(self):
+        """The canonicalizing constructor for this node class."""
+        cls = type(self)
+        make = getattr(cls, 'make', None)
+        return make if make is not None else cls
+
+    def rebuild(self, *args):
+        """Reconstruct this node with new arguments (re-canonicalizing)."""
+        return self.func(*args)
+
+    # -- equality / hashing --------------------------------------------------
+
+    def _hashable(self):
+        return (type(self).__name__,) + self.args
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(self._hashable())
+        return self._hash
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if isinstance(other, (int, float, Fraction)):
+            other = sympify(other)
+        if not isinstance(other, Expr):
+            return NotImplemented
+        if type(self) is not type(other):
+            return False
+        return self._hashable() == other._hashable()
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    # -- ordering for canonical form ------------------------------------------
+
+    def sort_key(self):
+        """A cached, cheaply comparable total-order key.
+
+        Nested tuples share children's keys, so building keys over a large
+        expression is O(nodes) in memory (strings would be O(nodes**2)).
+        """
+        if self._skey is None:
+            self._skey = (self._class_rank, self._key_payload(),
+                          tuple(a.sort_key() for a in self.args))
+        return self._skey
+
+    def _key_payload(self):
+        """Class-specific comparable payload (classes sharing a rank must
+        return payloads of the same type)."""
+        return ()
+
+    # -- printing --------------------------------------------------------------
+
+    def __str__(self):
+        if self._str is None:
+            self._str = self._sstr()
+        return self._str
+
+    def __repr__(self):
+        return str(self)
+
+    def _sstr(self):
+        raise NotImplementedError
+
+    def _needs_parens(self):
+        return False
+
+    # -- arithmetic operators ----------------------------------------------------
+
+    def __add__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Add.make(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Add.make(self, Mul.make(MinusOne, other))
+
+    def __rsub__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Add.make(other, Mul.make(MinusOne, self))
+
+    def __mul__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Mul.make(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Mul.make(self, Pow.make(other, MinusOne))
+
+    def __rtruediv__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Mul.make(other, Pow.make(self, MinusOne))
+
+    def __pow__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Pow.make(self, other)
+
+    def __rpow__(self, other):
+        other = sympify(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Pow.make(other, self)
+
+    def __neg__(self):
+        return Mul.make(MinusOne, self)
+
+    def __pos__(self):
+        return self
+
+    # -- common queries -----------------------------------------------------------
+
+    def xreplace(self, mapping):
+        """Replace exact subtree occurrences according to ``mapping``."""
+        return xreplace(self, mapping)
+
+    subs = xreplace
+
+    @property
+    def free_symbols(self):
+        return free_symbols(self)
+
+    def atoms(self, *types):
+        """All atomic (leaf) subexpressions, optionally filtered by type."""
+        types = types or (Atom,)
+        return {e for e in preorder(self) if isinstance(e, types)}
+
+    def evalf(self, bindings=None):
+        """Numerically evaluate with ``bindings`` mapping atoms to numbers."""
+        return _evalf(self, bindings or {})
+
+
+class Atom(Expr):
+    """An expression with no children."""
+
+    __slots__ = ()
+
+    is_Atom = True
+
+    def _hashable(self):
+        return (type(self).__name__,) + self.args
+
+
+class Symbol(Atom):
+    """A named scalar symbol."""
+
+    __slots__ = ('name',)
+    _class_rank = 10
+    is_Symbol = True
+
+    def __init__(self, name, **kwargs):
+        super().__init__()
+        self.name = name
+
+    def _hashable(self):
+        return (type(self).__name__, self.name)
+
+    def _key_payload(self):
+        return self.name
+
+    def _sstr(self):
+        return self.name
+
+
+class Number(Atom):
+    """Base class for numeric literals."""
+
+    __slots__ = ('value',)
+    _class_rank = 0
+    is_Number = True
+
+    def _hashable(self):
+        return ('Number', self.value)
+
+    def _key_payload(self):
+        return float(self.value)
+
+    def __lt__(self, other):
+        other = sympify(other)
+        return self.value < other.value
+
+    def __le__(self, other):
+        other = sympify(other)
+        return self.value <= other.value
+
+    def __gt__(self, other):
+        other = sympify(other)
+        return self.value > other.value
+
+    def __ge__(self, other):
+        other = sympify(other)
+        return self.value >= other.value
+
+    def __float__(self):
+        return float(self.value)
+
+    def __int__(self):
+        return int(self.value)
+
+    def __bool__(self):
+        return bool(self.value)
+
+
+class Integer(Number):
+    """An exact integer literal."""
+
+    __slots__ = ()
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = int(value)
+
+    def _sstr(self):
+        return str(self.value)
+
+
+class Rational(Number):
+    """An exact rational literal (auto-reduces; integers become Integer)."""
+
+    __slots__ = ()
+
+    def __new__(cls, p, q=1):
+        frac = Fraction(p, q)
+        if frac.denominator == 1:
+            # integral value: collapse to Integer (fully constructed here;
+            # __init__ is skipped since Integer is not a Rational subclass)
+            return Integer(frac.numerator)
+        return object.__new__(cls)
+
+    def __init__(self, p, q=1):
+        super().__init__()
+        self.value = Fraction(p, q)
+
+    @property
+    def p(self):
+        return self.value.numerator
+
+    @property
+    def q(self):
+        return self.value.denominator
+
+    def _sstr(self):
+        return '%d/%d' % (self.value.numerator, self.value.denominator)
+
+    def _needs_parens(self):
+        return True
+
+
+class Float(Number):
+    """An inexact floating-point literal."""
+
+    __slots__ = ()
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = float(value)
+
+    def _sstr(self):
+        return repr(self.value)
+
+    def _needs_parens(self):
+        return self.value < 0
+
+
+def _number(value):
+    """Wrap a Python numeric value in the tightest Number subclass."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return Integer(value.numerator)
+        return Rational(value)
+    if isinstance(value, bool):
+        return Integer(int(value))
+    if isinstance(value, int):
+        return Integer(value)
+    if isinstance(value, float):
+        return Float(value)
+    raise TypeError("cannot wrap %r as a Number" % (value,))
+
+
+def sympify(obj):
+    """Convert a Python object into an :class:`Expr` (or NotImplemented)."""
+    if isinstance(obj, Expr):
+        return obj
+    if isinstance(obj, (int, float, Fraction)):
+        return _number(obj)
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return NotImplemented
+    if isinstance(obj, np.integer):
+        return Integer(int(obj))
+    if isinstance(obj, np.floating):
+        return Float(float(obj))
+    return NotImplemented
+
+
+def S(obj):
+    """Strict sympify: raise on failure."""
+    result = sympify(obj)
+    if result is NotImplemented:
+        raise TypeError("cannot sympify %r" % (obj,))
+    return result
+
+
+# -- numeric folding helpers ----------------------------------------------------
+
+def _num_add(a, b):
+    if isinstance(a, Float) or isinstance(b, Float):
+        return Float(float(a.value) + float(b.value))
+    return _number(Fraction(a.value) + Fraction(b.value))
+
+
+def _num_mul(a, b):
+    if isinstance(a, Float) or isinstance(b, Float):
+        return Float(float(a.value) * float(b.value))
+    return _number(Fraction(a.value) * Fraction(b.value))
+
+
+def _num_pow(base, exp):
+    if isinstance(exp, Integer):
+        if isinstance(base, Float):
+            return Float(float(base.value) ** exp.value)
+        return _number(Fraction(base.value) ** exp.value)
+    bval, eval_ = float(base.value), float(exp.value)
+    if bval < 0:
+        return None
+    return Float(bval ** eval_)
+
+
+class Add(Expr):
+    """A canonical n-ary sum."""
+
+    __slots__ = ()
+    _class_rank = 60
+    is_Add = True
+
+    @classmethod
+    def make(cls, *args):
+        terms = {}
+        const = Integer(0)
+        stack = list(args)
+        while stack:
+            arg = S(stack.pop())
+            if arg.is_Add:
+                stack.extend(arg.args)
+            elif arg.is_Number:
+                const = _num_add(const, arg)
+            else:
+                coeff, term = _as_coeff_term(arg)
+                if term in terms:
+                    terms[term] = _num_add(terms[term], coeff)
+                else:
+                    terms[term] = coeff
+        out = []
+        for term, coeff in terms.items():
+            if coeff.value == 0:
+                continue
+            if coeff.value == 1:
+                out.append(term)
+            else:
+                out.append(Mul.make(coeff, term))
+        if const.value != 0 or not out:
+            out.append(const)
+        if len(out) == 1:
+            return out[0]
+        out.sort(key=lambda e: e.sort_key())
+        return cls(*out)
+
+    def _sstr(self):
+        parts = []
+        for i, arg in enumerate(self.args):
+            text = str(arg)
+            if i == 0:
+                parts.append(text)
+            elif text.startswith('-'):
+                parts.append(' - ' + text[1:])
+            else:
+                parts.append(' + ' + text)
+        return ''.join(parts)
+
+    def _needs_parens(self):
+        return True
+
+
+def _as_coeff_term(expr):
+    """Split ``expr`` into (numeric coefficient, symbolic remainder)."""
+    if expr.is_Mul and expr.args and expr.args[0].is_Number:
+        coeff = expr.args[0]
+        rest = expr.args[1:]
+        if len(rest) == 1:
+            return coeff, rest[0]
+        return coeff, Mul(*rest)
+    return Integer(1), expr
+
+
+class Mul(Expr):
+    """A canonical n-ary product (numeric coefficient first)."""
+
+    __slots__ = ()
+    _class_rank = 55
+    is_Mul = True
+
+    @classmethod
+    def make(cls, *args):
+        coeff = Integer(1)
+        powers = {}
+        order = []
+        stack = list(reversed(args))
+        while stack:
+            arg = S(stack.pop())
+            if arg.is_Mul:
+                stack.extend(reversed(arg.args))
+            elif arg.is_Number:
+                coeff = _num_mul(coeff, arg)
+            else:
+                base, exp = _as_base_exp(arg)
+                if base in powers:
+                    powers[base] = Add.make(powers[base], exp)
+                else:
+                    powers[base] = exp
+                    order.append(base)
+        if coeff.value == 0:
+            return Integer(0)
+        out = []
+        for base in order:
+            exp = powers[base]
+            factor = Pow.make(base, exp)
+            if factor.is_Number:
+                coeff = _num_mul(coeff, factor)
+            elif factor.is_Mul:
+                # e.g. rational**int folding produced a coefficient
+                for sub in factor.args:
+                    if sub.is_Number:
+                        coeff = _num_mul(coeff, sub)
+                    else:
+                        out.append(sub)
+            elif not (factor.is_Number and factor.value == 1):
+                out.append(factor)
+        if not out:
+            return coeff
+        out.sort(key=lambda e: e.sort_key())
+        if coeff.value != 1 and len(out) == 1 and out[0].is_Add:
+            # distribute a purely numeric coefficient over a sum (SymPy
+            # semantics); required for structural cancellation like
+            # (x + y) - (x + y) == 0
+            return Add.make(*[cls.make(coeff, term)
+                              for term in out[0].args])
+        if coeff.value != 1:
+            out.insert(0, coeff)
+        if len(out) == 1:
+            return out[0]
+        return cls(*out)
+
+    def _sstr(self):
+        parts = []
+        for arg in self.args:
+            text = str(arg)
+            if arg.is_Add or arg._needs_parens():
+                text = '(' + text + ')'
+            parts.append(text)
+        out = '*'.join(parts)
+        # cosmetics: -1*x prints as -x
+        if out.startswith('-1*'):
+            out = '-' + out[3:]
+        return out
+
+
+def _as_base_exp(expr):
+    if expr.is_Pow:
+        return expr.args[0], expr.args[1]
+    return expr, Integer(1)
+
+
+class Pow(Expr):
+    """A canonical power ``base**exp``."""
+
+    __slots__ = ()
+    _class_rank = 45
+    is_Pow = True
+
+    @classmethod
+    def make(cls, base, exp):
+        base = S(base)
+        exp = S(exp)
+        if exp.is_Number and exp.value == 0:
+            return Integer(1)
+        if exp.is_Number and exp.value == 1:
+            return base
+        if base.is_Number and base.value == 1:
+            return Integer(1)
+        if base.is_Number and base.value == 0:
+            if exp.is_Number and exp.value > 0:
+                return Integer(0)
+        if base.is_Number and exp.is_Number:
+            folded = _num_pow(base, exp)
+            if folded is not None:
+                return folded
+        if base.is_Pow and isinstance(exp, Integer):
+            inner_base, inner_exp = base.args
+            return cls.make(inner_base, Mul.make(inner_exp, exp))
+        if base.is_Mul and isinstance(exp, Integer):
+            return Mul.make(*[cls.make(f, exp) for f in base.args])
+        return cls(base, exp)
+
+    @property
+    def base(self):
+        return self.args[0]
+
+    @property
+    def exp(self):
+        return self.args[1]
+
+    def _sstr(self):
+        base, exp = self.args
+        btext = str(base)
+        if base.is_Add or base.is_Mul or base.is_Pow or base._needs_parens():
+            btext = '(' + btext + ')'
+        etext = str(exp)
+        if exp.is_Add or exp.is_Mul or exp._needs_parens():
+            etext = '(' + etext + ')'
+        return btext + '**' + etext
+
+
+class Indexed(Expr):
+    """An array access ``base[i0, i1, ...]``.
+
+    ``base`` is any object exposing ``name`` (typically a DSL
+    ``DiscreteFunction``); index expressions are symbolic.
+    """
+
+    __slots__ = ('base',)
+    _class_rank = 20
+    is_Indexed = True
+
+    def __init__(self, base, *indices):
+        super().__init__(*[S(i) for i in indices])
+        self.base = base
+
+    @classmethod
+    def make(cls, base, *indices):
+        return cls(base, *indices)
+
+    @property
+    def func(self):
+        base = self.base
+        return lambda *indices: Indexed(base, *indices)
+
+    @property
+    def indices(self):
+        return self.args
+
+    @property
+    def name(self):
+        return self.base.name
+
+    def _hashable(self):
+        return ('Indexed', self.base.name) + self.args
+
+    def _key_payload(self):
+        return self.base.name
+
+    def _sstr(self):
+        return '%s[%s]' % (self.base.name, ', '.join(str(i) for i in self.args))
+
+
+# -- singletons -------------------------------------------------------------------
+
+Zero = Integer(0)
+One = Integer(1)
+MinusOne = Integer(-1)
+Half = Rational(1, 2)
+
+
+# -- traversal / rewriting ----------------------------------------------------------
+
+def preorder(expr):
+    """Yield every node of ``expr`` in pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.args)
+
+
+def postorder(expr):
+    """Yield every node of ``expr`` in post-order."""
+    out = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(node.args)
+    return reversed(out)
+
+
+def xreplace(expr, mapping):
+    """Exact structural replacement with memoization over the DAG."""
+    if not mapping:
+        return expr
+    memo = {}
+
+    def rec(node):
+        key = node
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if node in mapping:
+            result = S(mapping[node])
+        elif not node.args:
+            result = node
+        else:
+            new_args = [rec(a) for a in node.args]
+            if all(na is a for na, a in zip(new_args, node.args)):
+                result = node
+            else:
+                result = node.func(*new_args)
+        memo[key] = result
+        return result
+
+    return rec(S(expr))
+
+
+def contains(expr, target, memo=None):
+    """True if ``target`` occurs as a subtree of ``expr``."""
+    if memo is None:
+        memo = {}
+    key = id(expr)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    if expr == target:
+        memo[key] = True
+        return True
+    result = any(contains(a, target, memo) for a in expr.args)
+    memo[key] = result
+    return result
+
+
+def free_symbols(expr):
+    """All :class:`Symbol` leaves, including those inside Indexed indices."""
+    return {e for e in preorder(expr) if e.is_Symbol}
+
+
+def indexeds(expr):
+    """All :class:`Indexed` accesses in ``expr``."""
+    return [e for e in preorder(expr) if e.is_Indexed]
+
+
+def count_ops(expr):
+    """Count scalar floating-point operations to evaluate ``expr`` once.
+
+    This is the compile-time flop counter the paper uses to derive
+    operational intensity on the CPU (Section IV-C).
+    """
+    memo = {}
+
+    def rec(node):
+        hit = memo.get(node)
+        if hit is not None:
+            return 0  # shared subexpression: charged once (DAG semantics)
+        ops = 0
+        if node.is_Add or node.is_Mul:
+            ops += len(node.args) - 1
+            # division costs the same as multiplication here
+        elif node.is_Pow:
+            exp = node.args[1]
+            if isinstance(exp, Integer) and abs(exp.value) <= 4:
+                ops += max(abs(exp.value) - 1, 1)
+            else:
+                ops += 5  # transcendental pow
+        elif node.is_Function:
+            ops += 5  # transcendental call cost
+        for a in node.args:
+            ops += rec(a)
+        memo[node] = True
+        return ops
+
+    return rec(S(expr))
+
+
+def expand(expr):
+    """Distribute products over sums (and integer powers of sums)."""
+    memo = {}
+
+    def rec(node):
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        if not node.args:
+            result = node
+        elif node.is_Mul:
+            factors = [rec(a) for a in node.args]
+            terms = [One]
+            for factor in factors:
+                addends = factor.args if factor.is_Add else (factor,)
+                terms = [Mul.make(t, a) for t in terms for a in addends]
+            result = Add.make(*terms)
+        elif node.is_Pow:
+            base, exp = node.args
+            base = rec(base)
+            if base.is_Add and isinstance(exp, Integer) and 1 < exp.value <= 3:
+                result = rec(Mul(*([base] * exp.value)))
+            else:
+                result = Pow.make(base, exp)
+        else:
+            new_args = [rec(a) for a in node.args]
+            result = node.func(*new_args)
+        memo[node] = result
+        return result
+
+    return rec(S(expr))
+
+
+def linear_coeffs(expr, target):
+    """Decompose ``expr == a*target + b`` without full expansion.
+
+    Returns ``(a, b)``.  Raises ``ValueError`` if ``expr`` is not linear in
+    ``target``.  Products are handled by requiring at most one factor to
+    contain the target, which is exactly the shape finite-difference
+    update equations take after derivative expansion.
+    """
+    memo = {}
+
+    def rec(node):
+        if node == target:
+            return One, Zero
+        if not contains(node, target, memo):
+            return Zero, node
+        if node.is_Add:
+            a_parts, b_parts = [], []
+            for arg in node.args:
+                a, b = rec(arg)
+                a_parts.append(a)
+                b_parts.append(b)
+            return Add.make(*a_parts), Add.make(*b_parts)
+        if node.is_Mul:
+            hot = [f for f in node.args if contains(f, target, memo)]
+            if len(hot) != 1:
+                raise ValueError("nonlinear in %s: %s" % (target, node))
+            rest = Mul.make(*[f for f in node.args if f is not hot[0]])
+            a, b = rec(hot[0])
+            return Mul.make(a, rest), Mul.make(b, rest)
+        raise ValueError("cannot extract linear coefficient from %s" % (node,))
+
+    return rec(S(expr))
+
+
+def _evalf(expr, bindings):
+    from .functions import AppliedFunction
+
+    def rec(node):
+        if node.is_Number:
+            return float(node.value)
+        if node in bindings:
+            return float(bindings[node])
+        if node.is_Symbol or node.is_Indexed:
+            raise ValueError("unbound atom %s in evalf" % (node,))
+        if node.is_Add:
+            return math.fsum(rec(a) for a in node.args)
+        if node.is_Mul:
+            return reduce(lambda x, y: x * y, (rec(a) for a in node.args))
+        if node.is_Pow:
+            return rec(node.args[0]) ** rec(node.args[1])
+        if isinstance(node, AppliedFunction):
+            return node._numeric(*[rec(a) for a in node.args])
+        raise ValueError("cannot evaluate %s" % (node,))
+
+    return rec(S(expr))

@@ -1,0 +1,197 @@
+"""Elementary mathematical functions (sin, cos, sqrt, ...).
+
+These appear in the TTI wave propagator, whose rotated Laplacian involves
+trigonometric functions of spatially varying tilt/azimuth angles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .expr import Expr, Float, Integer, S
+
+__all__ = ['AppliedFunction', 'sin', 'cos', 'tan', 'sqrt', 'exp', 'log',
+           'Abs', 'Min', 'Max', 'floor', 'ceiling', 'FUNCTION_REGISTRY']
+
+
+class AppliedFunction(Expr):
+    """A named elementary function applied to symbolic arguments."""
+
+    __slots__ = ()
+    _class_rank = 30
+    is_Function = True
+
+    #: name used by the printers (and numpy namespace lookup)
+    fname = None
+    nargs = 1
+
+    def __init__(self, *args):
+        if len(args) != self.nargs:
+            raise TypeError('%s takes %d argument(s), got %d'
+                            % (type(self).__name__, self.nargs, len(args)))
+        super().__init__(*[S(a) for a in args])
+
+    @classmethod
+    def make(cls, *args):
+        args = [S(a) for a in args]
+        if all(a.is_Number for a in args):
+            return Float(cls._numeric(*[float(a.value) for a in args]))
+        return cls(*args)
+
+    @staticmethod
+    def _numeric(*values):
+        raise NotImplementedError
+
+    def _key_payload(self):
+        return self.fname
+
+    def _sstr(self):
+        return '%s(%s)' % (self.fname, ', '.join(str(a) for a in self.args))
+
+
+class _Sin(AppliedFunction):
+    __slots__ = ()
+    fname = 'sin'
+    _numeric = staticmethod(math.sin)
+
+
+class _Cos(AppliedFunction):
+    __slots__ = ()
+    fname = 'cos'
+    _numeric = staticmethod(math.cos)
+
+
+class _Tan(AppliedFunction):
+    __slots__ = ()
+    fname = 'tan'
+    _numeric = staticmethod(math.tan)
+
+
+class _Sqrt(AppliedFunction):
+    __slots__ = ()
+    fname = 'sqrt'
+    _numeric = staticmethod(math.sqrt)
+
+
+class _Exp(AppliedFunction):
+    __slots__ = ()
+    fname = 'exp'
+    _numeric = staticmethod(math.exp)
+
+
+class _Log(AppliedFunction):
+    __slots__ = ()
+    fname = 'log'
+    _numeric = staticmethod(math.log)
+
+
+class _Abs(AppliedFunction):
+    __slots__ = ()
+    fname = 'abs'
+    _numeric = staticmethod(abs)
+
+
+class _Floor(AppliedFunction):
+    __slots__ = ()
+    fname = 'floor'
+
+    @staticmethod
+    def _numeric(value):
+        return float(math.floor(value))
+
+    @classmethod
+    def make(cls, *args):
+        arg = S(args[0])
+        if arg.is_Number:
+            return Integer(math.floor(arg.value))
+        return cls(arg)
+
+
+class _Ceiling(AppliedFunction):
+    __slots__ = ()
+    fname = 'ceiling'
+
+    @staticmethod
+    def _numeric(value):
+        return float(math.ceil(value))
+
+    @classmethod
+    def make(cls, *args):
+        arg = S(args[0])
+        if arg.is_Number:
+            return Integer(math.ceil(arg.value))
+        return cls(arg)
+
+
+class _Min(AppliedFunction):
+    __slots__ = ()
+    fname = 'min'
+    nargs = 2
+    _numeric = staticmethod(min)
+
+
+class _Max(AppliedFunction):
+    __slots__ = ()
+    fname = 'max'
+    nargs = 2
+    _numeric = staticmethod(max)
+
+
+def sin(x):
+    return _Sin.make(x)
+
+
+def cos(x):
+    return _Cos.make(x)
+
+
+def tan(x):
+    return _Tan.make(x)
+
+
+def sqrt(x):
+    return _Sqrt.make(x)
+
+
+def exp(x):
+    return _Exp.make(x)
+
+
+def log(x):
+    return _Log.make(x)
+
+
+def Abs(x):
+    return _Abs.make(x)
+
+
+def floor(x):
+    return _Floor.make(x)
+
+
+def ceiling(x):
+    return _Ceiling.make(x)
+
+
+def Min(a, b):
+    return _Min.make(a, b)
+
+
+def Max(a, b):
+    return _Max.make(a, b)
+
+
+#: printer lookup: fname -> (C spelling, numpy spelling)
+FUNCTION_REGISTRY = {
+    'sin': ('sinf', 'np.sin'),
+    'cos': ('cosf', 'np.cos'),
+    'tan': ('tanf', 'np.tan'),
+    'sqrt': ('sqrtf', 'np.sqrt'),
+    'exp': ('expf', 'np.exp'),
+    'log': ('logf', 'np.log'),
+    'abs': ('fabsf', 'np.abs'),
+    'floor': ('floorf', 'np.floor'),
+    'ceiling': ('ceilf', 'np.ceil'),
+    'min': ('fminf', 'np.minimum'),
+    'max': ('fmaxf', 'np.maximum'),
+}

@@ -1,0 +1,229 @@
+"""Expression printers: C and vectorized-NumPy source emission.
+
+``ccode`` renders an expression as single-precision C (the paper's
+Listing 11 style).  ``pycode`` renders it as a NumPy expression where each
+array access becomes a slice computed from the access offset — the
+executable backend of the JIT compiler.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .expr import (Add, Expr, Float, Integer, Mul, Pow, Rational, S,
+                   Symbol, preorder)
+from .functions import FUNCTION_REGISTRY, AppliedFunction
+
+__all__ = ['ccode', 'pycode', 'CPrinter', 'PyPrinter']
+
+
+class _PrinterBase:
+    """Shared precedence-aware infix printing machinery."""
+
+    def doprint(self, expr):
+        return self._print(S(expr))
+
+    def _print(self, expr):
+        if expr.is_Add:
+            return self._print_add(expr)
+        if expr.is_Mul:
+            return self._print_mul(expr)
+        if expr.is_Pow:
+            return self._print_pow(expr)
+        if isinstance(expr, Integer):
+            return self._print_int(expr)
+        if isinstance(expr, Rational):
+            return self._print_rational(expr)
+        if isinstance(expr, Float):
+            return self._print_float(expr)
+        if expr.is_Indexed:
+            return self._print_indexed(expr)
+        if isinstance(expr, AppliedFunction):
+            return self._print_function(expr)
+        if expr.is_Symbol:
+            return self._print_symbol(expr)
+        if getattr(expr, 'is_DiscreteFunction', False):
+            return self._print(expr.indexify())
+        raise TypeError("cannot print %r" % (expr,))
+
+    def _paren_term(self, arg):
+        text = self._print(arg)
+        if arg.is_Add:
+            return '(' + text + ')'
+        return text
+
+    def _print_add(self, expr):
+        parts = []
+        for i, arg in enumerate(expr.args):
+            text = self._print(arg)
+            if i == 0:
+                parts.append(text)
+            elif text.startswith('-'):
+                parts.append(' - ' + text[1:])
+            else:
+                parts.append(' + ' + text)
+        return ''.join(parts)
+
+    def _print_mul(self, expr):
+        num_parts, den_parts = [], []
+        coeff_text = None
+        args = list(expr.args)
+        if args and isinstance(args[0], (Integer, Rational, Float)):
+            coeff = args.pop(0)
+            if isinstance(coeff, Integer) and coeff.value == -1:
+                coeff_text = '-'
+            else:
+                coeff_text = None
+                args.insert(0, coeff)
+        for arg in args:
+            if arg.is_Pow and isinstance(arg.exp, (Integer, Rational)) \
+                    and arg.exp.value < 0:
+                den_parts.append(self._print_pow_positive(arg.base,
+                                                          -arg.exp.value))
+            elif isinstance(arg, Rational):
+                num_parts.append(self._print_rational_as_float(arg))
+            else:
+                num_parts.append(self._paren_mul_operand(arg))
+        if not num_parts:
+            num_parts = [self._one_literal()]
+        text = '*'.join(num_parts)
+        if den_parts:
+            text = text + '/' + '/'.join(
+                p if _is_atom_text(p) else '(' + p + ')' for p in den_parts)
+        if coeff_text:
+            text = coeff_text + text
+        return text
+
+    def _paren_mul_operand(self, arg):
+        text = self._print(arg)
+        if arg.is_Add or (isinstance(arg, (Float, Integer)) and arg.value < 0):
+            return '(' + text + ')'
+        return text
+
+    def _print_pow_positive(self, base, expval):
+        """Print base**expval with expval a positive number."""
+        frac = Fraction(expval)
+        base_text = self._paren_mul_operand(base)
+        if base.is_Mul or base.is_Pow:
+            base_text = '(' + self._print(base) + ')'
+        if frac == 1:
+            return base_text
+        if frac.denominator == 1 and 2 <= frac.numerator <= 3:
+            return '*'.join([base_text] * frac.numerator)
+        if frac == Fraction(1, 2):
+            return self._sqrt_call(self._print(base))
+        return self._pow_call(base_text, str(float(frac)))
+
+    def _print_pow(self, expr):
+        base, exp = expr.base, expr.exp
+        if isinstance(exp, (Integer, Rational, Float)):
+            if exp.value > 0:
+                return self._print_pow_positive(base, exp.value)
+            inv = self._print_pow_positive(base, -exp.value)
+            if not _is_atom_text(inv):
+                inv = '(' + inv + ')'
+            return '%s/%s' % (self._one_literal(), inv)
+        return self._pow_call(self._paren_mul_operand(base),
+                              self._paren_mul_operand(exp))
+
+    def _print_symbol(self, expr):
+        return expr.name
+
+    def _print_function(self, expr):
+        cname, pyname = FUNCTION_REGISTRY[expr.fname]
+        name = self._function_name(cname, pyname)
+        return '%s(%s)' % (name, ', '.join(self._print(a) for a in expr.args))
+
+
+def _is_atom_text(text):
+    return text and all(c.isalnum() or c in '_.[]' for c in text)
+
+
+class CPrinter(_PrinterBase):
+    """Render expressions as single-precision C."""
+
+    def _one_literal(self):
+        return '1.0F'
+
+    def _sqrt_call(self, arg):
+        return 'sqrtf(%s)' % arg
+
+    def _pow_call(self, base, exp):
+        return 'powf(%s, %s)' % (base, exp)
+
+    def _function_name(self, cname, pyname):
+        return cname
+
+    def _print_int(self, expr):
+        return str(expr.value)
+
+    def _print_rational(self, expr):
+        return self._print_rational_as_float(expr)
+
+    def _print_rational_as_float(self, expr):
+        value = float(expr.value)
+        if value == int(value):
+            return '%.1fF' % value
+        return ('%r' % value) + 'F'
+
+    def _print_float(self, expr):
+        value = expr.value
+        if value == int(value):
+            return '%.1fF' % value
+        return ('%r' % value) + 'F'
+
+    def _print_indexed(self, expr):
+        idx = ''.join('[%s]' % self._print(i) for i in expr.indices)
+        return expr.base.name + idx
+
+
+class PyPrinter(_PrinterBase):
+    """Render expressions as scalar Python/NumPy source.
+
+    Indexed accesses print via a caller-provided ``index_printer``
+    callback, so the same printer serves both the scalar (pointwise) and
+    the vectorized (slice-based) kernels.
+    """
+
+    def __init__(self, index_printer=None):
+        self.index_printer = index_printer
+
+    def _one_literal(self):
+        return '1.0'
+
+    def _sqrt_call(self, arg):
+        return 'np.sqrt(%s)' % arg
+
+    def _pow_call(self, base, exp):
+        return '(%s)**(%s)' % (base, exp)
+
+    def _function_name(self, cname, pyname):
+        return pyname
+
+    def _print_int(self, expr):
+        return str(expr.value)
+
+    def _print_rational(self, expr):
+        return self._print_rational_as_float(expr)
+
+    def _print_rational_as_float(self, expr):
+        return repr(float(expr.value))
+
+    def _print_float(self, expr):
+        return repr(expr.value)
+
+    def _print_indexed(self, expr):
+        if self.index_printer is None:
+            idx = ', '.join(self._print(i) for i in expr.indices)
+            return '%s[%s]' % (expr.base.name, idx)
+        return self.index_printer(self, expr)
+
+
+def ccode(expr):
+    """Render ``expr`` as single-precision C source."""
+    return CPrinter().doprint(expr)
+
+
+def pycode(expr, index_printer=None):
+    """Render ``expr`` as Python/NumPy source."""
+    return PyPrinter(index_printer=index_printer).doprint(expr)

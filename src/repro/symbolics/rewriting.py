@@ -1,0 +1,215 @@
+"""Flop-reducing expression rewrites: CSE, factorization, invariant hoisting.
+
+These are the Cluster-level optimizations of the paper's Figure 1
+("flop-reducing arithmetic"): common sub-expression elimination,
+factorization of shared numeric/spacing coefficients, and extraction of
+loop-invariant scalar subexpressions (reciprocals of grid spacings etc.)
+into temporaries ``r0, r1, ...`` exactly as seen in Listing 11.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .expr import (Add, Expr, Integer, Mul, Pow, S, Symbol, preorder,
+                   count_ops, xreplace)
+
+__all__ = ['cse', 'factorize', 'hoist_invariants', 'Temp', 'collect_mul_coeff']
+
+
+class Temp(Symbol):
+    """A compiler-generated scalar temporary (``r0``, ``r1``, ...)."""
+
+    __slots__ = ('num',)
+
+    def __init__(self, num):
+        super().__init__('r%d' % num)
+        self.num = num
+
+
+def _name_generator(start=0):
+    counter = itertools.count(start)
+    return lambda: Temp(next(counter))
+
+
+def _walk_value_nodes(expr):
+    """Pre-order walk that does NOT descend into Indexed index expressions
+    (index arithmetic like ``x + 2`` is not a value computation and must
+    never be extracted into a temporary)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_Indexed:
+            stack.extend(node.args)
+
+
+def cse(exprs, min_count=2, min_ops=1, mkname=None):
+    """Common sub-expression elimination across a list of expressions.
+
+    Parameters
+    ----------
+    exprs : list of (lhs, rhs) pairs or Expr
+        The expressions to optimize (rhs sides are scanned).
+    min_count : int
+        Minimum number of occurrences for extraction.
+    min_ops : int
+        Minimum operation count of a candidate subexpression.
+
+    Returns
+    -------
+    (assignments, rewritten)
+        ``assignments`` is a list of (Temp, subexpr); ``rewritten`` the
+        input expressions with candidates replaced by the temporaries.
+    """
+    mkname = mkname or _name_generator()
+    rhs_list = [e[1] if isinstance(e, tuple) else S(e) for e in exprs]
+
+    counts = {}
+    for rhs in rhs_list:
+        for node in _walk_value_nodes(rhs):
+            if node.is_Atom or node.is_Indexed:
+                continue
+            counts[node] = counts.get(node, 0) + 1
+
+    candidates = [n for n, c in counts.items()
+                  if c >= min_count and count_ops(n) >= min_ops
+                  and any(sub.is_Indexed for sub in preorder(n))]
+    if not candidates:
+        return [], exprs
+
+    # extract smaller expressions first so larger candidates reference
+    # the temporaries of the nested ones (bottom-up CSE)
+    candidates.sort(key=count_ops)
+
+    assignments = []
+    mapping = {}
+    for cand in candidates:
+        # rewrite the candidate with already-extracted temps first
+        rewritten = xreplace(cand, mapping)
+        temp = mkname()
+        assignments.append((temp, rewritten))
+        mapping[cand] = temp
+
+    new_exprs = []
+    for e in exprs:
+        if isinstance(e, tuple):
+            new_exprs.append((e[0], xreplace(e[1], mapping)))
+        else:
+            new_exprs.append(xreplace(S(e), mapping))
+
+    # drop temps that ended up unused (candidate only inside another candidate)
+    used = set()
+    scan = [rhs for _, rhs in assignments]
+    scan += [e[1] if isinstance(e, tuple) else e for e in new_exprs]
+    for expr in scan:
+        for node in preorder(expr):
+            if isinstance(node, Temp):
+                used.add(node)
+    pruned, final_map = [], {}
+    for temp, rhs in assignments:
+        if temp in used:
+            pruned.append((temp, xreplace(rhs, final_map)))
+        else:
+            final_map[temp] = rhs
+    if final_map:
+        new_exprs = [(e[0], xreplace(e[1], final_map)) if isinstance(e, tuple)
+                     else xreplace(e, final_map) for e in new_exprs]
+    return pruned, new_exprs
+
+
+def collect_mul_coeff(expr):
+    """Split a term into (scalar prefactor, rest) for factorization grouping.
+
+    The prefactor gathers Numbers, plain Symbols (spacing/dt temporaries)
+    and powers thereof; the rest gathers array accesses and functions.
+    """
+    expr = S(expr)
+    if expr.is_Mul:
+        scalars, others = [], []
+        for factor in expr.args:
+            if factor.is_Number or factor.is_Symbol or (
+                    factor.is_Pow and factor.args[0].is_Symbol):
+                scalars.append(factor)
+            else:
+                others.append(factor)
+        return Mul.make(*scalars), Mul.make(*others)
+    if expr.is_Number or expr.is_Symbol:
+        return expr, Integer(1)
+    return Integer(1), expr
+
+
+def factorize(expr):
+    """Group the terms of sums by shared scalar prefactor.
+
+    ``r1*a + r1*b + r2*c -> r1*(a + b) + r2*c`` — the flop-reduction
+    factorization of the Cluster IR.  Applied recursively.
+    """
+    expr = S(expr)
+    if not expr.args:
+        return expr
+    new_args = [factorize(a) for a in expr.args]
+    rebuilt = expr.func(*new_args) if any(
+        na is not a for na, a in zip(new_args, expr.args)) else expr
+    if not rebuilt.is_Add:
+        return rebuilt
+    groups = {}
+    order = []
+    for term in rebuilt.args:
+        coeff, rest = collect_mul_coeff(term)
+        if coeff not in groups:
+            groups[coeff] = []
+            order.append(coeff)
+        groups[coeff].append(rest)
+    terms = []
+    for coeff in order:
+        rests = groups[coeff]
+        if len(rests) == 1:
+            terms.append(Mul.make(coeff, rests[0]))
+        else:
+            terms.append(Mul.make(coeff, Add.make(*rests)))
+    return Add.make(*terms) if len(terms) > 1 else terms[0]
+
+
+def hoist_invariants(exprs, invariant_p, mkname=None):
+    """Extract maximal subexpressions satisfying ``invariant_p`` into temps.
+
+    ``invariant_p(node) -> bool`` decides whether a node is loop-invariant
+    (e.g. contains no array accesses over iterated dimensions).  Maximal
+    invariant non-atomic subtrees become scalar assignments evaluated once
+    outside the loop nest — producing the ``r0 = 1/dt`` style preamble of
+    Listing 11.
+    """
+    mkname = mkname or _name_generator()
+    assignments = []
+    mapping = {}
+
+    def visit(node):
+        if node in mapping:
+            return mapping[node]
+        if node.is_Atom or node.is_Indexed:
+            return node
+        if invariant_p(node):
+            for temp, rhs in assignments:
+                if rhs == node:
+                    mapping[node] = temp
+                    return temp
+            temp = mkname()
+            assignments.append((temp, node))
+            mapping[node] = temp
+            return temp
+        new_args = [visit(a) for a in node.args]
+        if all(na is a for na, a in zip(new_args, node.args)):
+            result = node
+        else:
+            result = node.func(*new_args)
+        mapping[node] = result
+        return result
+
+    new_exprs = []
+    for e in exprs:
+        if isinstance(e, tuple):
+            new_exprs.append((e[0], visit(S(e[1]))))
+        else:
+            new_exprs.append(visit(S(e)))
+    return assignments, new_exprs

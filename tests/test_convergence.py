@@ -1,0 +1,153 @@
+"""Numerical convergence of the generated solvers.
+
+The ultimate end-to-end check of the symbolic-to-kernel pipeline: the
+discretization error of a compiled Operator must shrink at the design
+order under grid refinement.  Two setups:
+
+* single Laplacian application vs the analytic value (interior points,
+  excluding the boundary band whose stencils read the zero halo);
+* the full wave equation on a compact Gaussian pulse (waves never reach
+  the boundary), against a highly resolved 8th-order reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Eq, Function, Grid, Operator, TimeFunction, solve
+from repro.mpi import run_parallel
+
+
+def _laplacian_error(n, so, comm=None, mpi=None):
+    grid = Grid(shape=(n, n), extent=(1.0, 1.0), dtype=np.float64,
+                comm=comm)
+    u = Function(name='u', grid=grid, space_order=so)
+    w = Function(name='w', grid=grid, space_order=so)
+    xs = np.linspace(0, 1, n)
+    X, Y = np.meshgrid(xs, xs, indexing='ij')
+    u.data[...] = np.sin(np.pi * X) * np.sin(np.pi * Y)
+    op = Operator([Eq(w, u.laplace)], mpi=mpi)
+    op.apply(time_M=0)
+    exact = -2 * np.pi ** 2 * np.sin(np.pi * X) * np.sin(np.pi * Y)
+    b = so // 2 + 1
+    out = w.data.gather() if comm is not None else np.array(w.data[:, :])
+    return np.abs(out - exact)[b:-b, b:-b].max()
+
+
+def _wave_solution(n, so, T=0.06, dt=5e-4):
+    grid = Grid(shape=(n, n), extent=(1.0, 1.0), dtype=np.float64)
+    u = TimeFunction(name='u', grid=grid, space_order=so, time_order=2)
+    xs = np.linspace(0, 1, n)
+    X, Y = np.meshgrid(xs, xs, indexing='ij')
+    bump = np.exp(-((X - 0.5) ** 2 + (Y - 0.5) ** 2) / (2 * 0.05 ** 2))
+    u.data[0] = bump
+    u.data[1] = bump  # zero initial velocity
+    pde = u.dt2 - u.laplace
+    op = Operator([Eq(u.forward, solve(pde, u.forward))])
+    steps = int(round(T / dt))
+    op.apply(time_m=1, time_M=steps, dt=dt)
+    return np.array(u.data[(steps + 1) % 3])
+
+
+def _restrict(a, n):
+    step = (a.shape[0] - 1) // (n - 1)
+    return a[::step, ::step]
+
+
+class TestLaplacianConvergence:
+    @pytest.mark.parametrize('so,expected', [(2, 2.0), (4, 4.0), (8, 7.5)])
+    def test_design_order(self, so, expected):
+        e1 = _laplacian_error(17, so)
+        e2 = _laplacian_error(33, so)
+        rate = np.log2(e1 / e2)
+        assert rate > expected - 0.4, (so, e1, e2, rate)
+
+    def test_distributed_laplacian_same_error(self):
+        """DMP execution must not change the numerics."""
+        serial = _laplacian_error(33, 4)
+        out = run_parallel(
+            lambda c: _laplacian_error(33, 4, comm=c, mpi='diagonal'), 4)
+        assert all(abs(e - serial) < 1e-14 for e in out)
+
+
+class TestWaveConvergence:
+    @pytest.fixture(scope='class')
+    def reference(self):
+        return _wave_solution(129, 8)
+
+    @pytest.mark.parametrize('so,min_rate', [(2, 1.8), (4, 3.5)])
+    def test_wave_equation_order(self, reference, so, min_rate):
+        e1 = np.abs(_wave_solution(17, so) - _restrict(reference,
+                                                       17)).max()
+        e2 = np.abs(_wave_solution(33, so) - _restrict(reference,
+                                                       33)).max()
+        rate = np.log2(e1 / e2)
+        assert rate > min_rate, (so, e1, e2, rate)
+
+    def test_higher_order_more_accurate(self, reference):
+        errs = {so: np.abs(_wave_solution(33, so)
+                           - _restrict(reference, 33)).max()
+                for so in (2, 4)}
+        assert errs[4] < errs[2]
+
+
+class TestCLI:
+    def test_cli_serial_run(self, capsys):
+        from repro.cli import main
+        main(['acoustic', '-d', '41', '41', '--tn', '60', '-so', '4',
+              '--nbl', '8'])
+        out = capsys.readouterr().out
+        assert 'GPts/s' in out and 'operational int.' in out
+
+    def test_cli_parallel_verified(self, capsys):
+        from repro.cli import main
+        main(['acoustic', '-d', '42', '42', '--tn', '40', '-so', '4',
+              '--nbl', '8', '--ranks', '2', '--mpi', 'full', '--verify'])
+        out = capsys.readouterr().out
+        assert 'IDENTICAL' in out
+
+    def test_cli_rejects_bad_dims(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(['acoustic', '-d', '8'])
+
+
+class TestGeneratedPySource:
+    """Mode-specific structure of the executable generated code."""
+
+    def _pycode(self, mode):
+        def job(comm):
+            grid = Grid(shape=(12, 12), comm=comm)
+            u = TimeFunction(name='u', grid=grid, space_order=2)
+            op = Operator([Eq(u.forward, solve(Eq(u.dt, u.laplace),
+                                               u.forward))], mpi=mode)
+            return op.pycode
+
+        return run_parallel(job, 4)[0]
+
+    def test_basic_emits_blocking_exchange(self):
+        src = self._pycode('basic')
+        assert ".exchange(u[(time + 0) % 2])" in src
+
+    def test_full_emits_begin_wait_and_regions(self):
+        src = self._pycode('full')
+        assert '.begin(' in src and '.finish(' in src
+        # core box then remainder boxes: more than one cluster emission
+        assert src.count('# cluster over') >= 2
+        assert src.index('.begin(') < src.index('# cluster over')
+        assert src.index('.finish(') > src.index('# cluster over')
+
+    def test_serial_has_no_exchanges(self):
+        grid = Grid(shape=(12, 12))
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        op = Operator([Eq(u.forward, solve(Eq(u.dt, u.laplace),
+                                           u.forward))], mpi='basic')
+        assert ".exchange(" not in op.pycode
+
+    def test_generated_source_is_valid_python(self):
+        import ast
+        for mode in ('basic', 'diagonal', 'full'):
+            ast.parse(self._pycode(mode))
+        grid = Grid(shape=(12, 12))
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        op = Operator([Eq(u.forward, u + 1)])
+        ast.parse(op.pycode)

@@ -1,0 +1,363 @@
+"""Tests for the simulated MPI layer: point-to-point semantics,
+collectives, requests, topologies, failure handling."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (ANY_SOURCE, ANY_TAG, PROC_NULL, RemoteRankError,
+                       compute_dims, create_cart, neighborhood_offsets,
+                       run_parallel, serial_comm)
+
+
+class TestPointToPoint:
+    def test_send_recv_object(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send({'a': 7}, 1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        assert run_parallel(job, 2)[1] == {'a': 7}
+
+    def test_send_recv_numpy_buffer(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(10, dtype='f4'), 1, tag=3)
+                return None
+            buf = np.empty(10, dtype='f4')
+            comm.Recv(buf, source=0, tag=3)
+            return buf
+
+        out = run_parallel(job, 2)
+        assert np.array_equal(out[1], np.arange(10, dtype='f4'))
+
+    def test_payload_is_copied(self):
+        """Buffered send: mutating the source after send must not affect
+        the received message."""
+        def job(comm):
+            if comm.rank == 0:
+                data = np.zeros(4)
+                comm.send(data, 1, tag=0)
+                data[:] = 99.0
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0, tag=0)
+
+        assert np.array_equal(run_parallel(job, 2)[1], np.zeros(4))
+
+    def test_tag_matching(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send('first', 1, tag=1)
+                comm.send('second', 1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_parallel(job, 2)[1] == ('first', 'second')
+
+    def test_any_source_any_tag(self):
+        def job(comm):
+            if comm.rank != 0:
+                comm.send(comm.rank, 0, tag=comm.rank)
+                return None
+            got = sorted(comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                         for _ in range(comm.size - 1))
+            return got
+
+        assert run_parallel(job, 4)[0] == [1, 2, 3]
+
+    def test_non_overtaking_per_pair(self):
+        """Messages between the same (source, tag) pair arrive in order."""
+        def job(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send(i, 1, tag=7)
+                return None
+            return [comm.recv(source=0, tag=7) for _ in range(50)]
+
+        assert run_parallel(job, 2)[1] == list(range(50))
+
+    def test_proc_null_send_recv_are_noops(self):
+        def job(comm):
+            comm.send('x', PROC_NULL)
+            return comm.recv(buf='fallback', source=PROC_NULL)
+
+        assert run_parallel(job, 1)[0] == 'fallback'
+
+    def test_sendrecv_ring(self):
+        def job(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, right, sendtag=5,
+                                 source=left, recvtag=5)
+
+        out = run_parallel(job, 4)
+        assert out == [3, 0, 1, 2]
+
+
+class TestNonBlocking:
+    def test_isend_completes_immediately(self):
+        def job(comm):
+            if comm.rank == 0:
+                req = comm.isend(42, 1)
+                done, _ = req.test()
+                req.wait()
+                return done
+            return comm.recv(source=0)
+
+        out = run_parallel(job, 2)
+        assert out[0] is True and out[1] == 42
+
+    def test_irecv_wait(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(3), 1, tag=9)
+                return None
+            buf = np.empty(3)
+            req = comm.irecv(buf=buf, source=0, tag=9)
+            req.wait()
+            return buf
+
+        assert np.array_equal(run_parallel(job, 2)[1], np.ones(3))
+
+    def test_irecv_test_polls(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.send('late', 1, tag=1)
+                return None
+            req = comm.irecv(source=0, tag=1)
+            done, _ = req.test()
+            early = done
+            comm.barrier()
+            value = req.wait()
+            return early, value
+
+        early, value = run_parallel(job, 2)[1]
+        assert early is False and value == 'late'
+
+    def test_waitall(self):
+        from repro.mpi import Request
+
+        def job(comm):
+            if comm.rank == 0:
+                for tag in range(5):
+                    comm.send(tag, 1, tag=tag)
+                return None
+            reqs = [comm.irecv(source=0, tag=t) for t in range(5)]
+            return Request.waitall(reqs)
+
+        assert run_parallel(job, 2)[1] == list(range(5))
+
+
+class TestCollectives:
+    def test_barrier(self):
+        def job(comm):
+            comm.barrier()
+            return True
+
+        assert all(run_parallel(job, 4))
+
+    def test_bcast(self):
+        def job(comm):
+            data = {'k': [1, 2]} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        out = run_parallel(job, 4)
+        assert all(o == {'k': [1, 2]} for o in out)
+
+    def test_gather(self):
+        def job(comm):
+            return comm.gather(comm.rank ** 2, root=0)
+
+        out = run_parallel(job, 4)
+        assert out[0] == [0, 1, 4, 9]
+        assert out[1] is None
+
+    def test_scatter(self):
+        def job(comm):
+            objs = [i * 10 for i in range(comm.size)] if comm.rank == 0 \
+                else None
+            return comm.scatter(objs, root=0)
+
+        assert run_parallel(job, 4) == [0, 10, 20, 30]
+
+    def test_allgather(self):
+        def job(comm):
+            return comm.allgather(comm.rank)
+
+        out = run_parallel(job, 3)
+        assert all(o == [0, 1, 2] for o in out)
+
+    def test_allreduce_sum(self):
+        def job(comm):
+            return comm.allreduce(np.full(2, float(comm.rank)))
+
+        out = run_parallel(job, 4)
+        assert all(np.array_equal(o, [6.0, 6.0]) for o in out)
+
+    def test_allreduce_max_min(self):
+        def job(comm):
+            return (comm.allreduce(comm.rank, op='max'),
+                    comm.allreduce(comm.rank, op='min'))
+
+        out = run_parallel(job, 4)
+        assert all(o == (3, 0) for o in out)
+
+    def test_reduce_callable_op(self):
+        def job(comm):
+            return comm.reduce(comm.rank + 1, op=lambda a, b: a * b, root=0)
+
+        assert run_parallel(job, 4)[0] == 24
+
+    def test_alltoall(self):
+        def job(comm):
+            objs = [(comm.rank, dest) for dest in range(comm.size)]
+            return comm.alltoall(objs)
+
+        out = run_parallel(job, 3)
+        for r, got in enumerate(out):
+            assert got == [(src, r) for src in range(3)]
+
+    def test_collectives_interleave_with_p2p(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send('user', 1, tag=0)
+            total = comm.allreduce(1)
+            extra = comm.recv(source=0, tag=0) if comm.rank == 1 else None
+            return total, extra
+
+        out = run_parallel(job, 2)
+        assert out[0][0] == 2 and out[1] == (2, 'user')
+
+    def test_dup_isolates_message_space(self):
+        def job(comm):
+            dup = comm.Dup()
+            if comm.rank == 0:
+                comm.send('world', 1, tag=4)
+                dup.send('dup', 1, tag=4)
+                return None
+            first = dup.recv(source=0, tag=4)
+            second = comm.recv(source=0, tag=4)
+            return first, second
+
+        assert run_parallel(job, 2)[1] == ('dup', 'world')
+
+
+class TestFailures:
+    def test_exception_propagates(self):
+        def job(comm):
+            if comm.rank == 1:
+                raise RuntimeError('boom')
+            comm.recv(source=1)  # would deadlock without failure wakeup
+
+        with pytest.raises(RuntimeError, match='boom'):
+            run_parallel(job, 2)
+
+    def test_unmatched_recv_times_out(self):
+        from repro.mpi.sim import SimWorld, SimComm
+
+        world = SimWorld(1)
+        comm = SimComm(world, 0)
+        with pytest.raises(RemoteRankError):
+            world.collect(0, comm._id, 0, 5, timeout=0.05)
+
+    def test_invalid_world_size(self):
+        from repro.mpi.sim import SimWorld
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+
+class TestSerialComm:
+    def test_self_messaging(self):
+        comm = serial_comm()
+        comm.send('hi', 0, tag=1)
+        assert comm.recv(source=0, tag=1) == 'hi'
+
+    def test_collectives_degenerate(self):
+        comm = serial_comm()
+        assert comm.allreduce(5) == 5
+        assert comm.allgather('x') == ['x']
+        comm.barrier()
+
+
+class TestCartesian:
+    def test_compute_dims_balanced(self):
+        assert compute_dims(16, 3) == (4, 2, 2)
+        assert compute_dims(8, 3) == (2, 2, 2)
+        assert compute_dims(12, 2) == (4, 3)
+        assert compute_dims(1, 3) == (1, 1, 1)
+        assert compute_dims(7, 2) == (7, 1)
+
+    def test_compute_dims_fixed_entries(self):
+        assert compute_dims(16, 3, given=(4, 2, 2)) == (4, 2, 2)
+        assert compute_dims(16, 3, given=(2, 0, 0)) in ((2, 4, 2),
+                                                        (2, 2, 4))
+        assert compute_dims(16, 3, given=(4, 4, 1)) == (4, 4, 1)
+
+    def test_compute_dims_invalid(self):
+        with pytest.raises(ValueError):
+            compute_dims(16, 3, given=(5, 0, 0))
+        with pytest.raises(ValueError):
+            compute_dims(16, 3, given=(2, 2, 2))
+
+    def test_neighborhood_offsets_counts(self):
+        assert len(neighborhood_offsets(2, diagonals=False)) == 4
+        assert len(neighborhood_offsets(3, diagonals=False)) == 6
+        assert len(neighborhood_offsets(2, diagonals=True)) == 8
+        assert len(neighborhood_offsets(3, diagonals=True)) == 26
+
+    def test_coords_row_major(self):
+        def job(comm):
+            cart = create_cart(comm, (2, 2))
+            return cart.coords
+
+        out = run_parallel(job, 4)
+        assert out == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_shift(self):
+        def job(comm):
+            cart = create_cart(comm, (2, 2))
+            return cart.Shift(0, 1), cart.Shift(1, 1)
+
+        out = run_parallel(job, 4)
+        # rank 0 at (0,0): source above is PROC_NULL, dest below is rank 2
+        assert out[0][0] == (PROC_NULL, 2)
+        assert out[0][1] == (PROC_NULL, 1)
+
+    def test_periodic_shift(self):
+        def job(comm):
+            cart = create_cart(comm, (4,), periods=(True,))
+            return cart.Shift(0, 1)
+
+        out = run_parallel(job, 4)
+        assert out[0] == (3, 1)
+        assert out[3] == (2, 0)
+
+    def test_neighborhood_excludes_out_of_domain(self):
+        def job(comm):
+            cart = create_cart(comm, (2, 2))
+            return cart.neighborhood(diagonals=True)
+
+        out = run_parallel(job, 4)
+        # corner rank 0 has exactly 3 neighbors in a 2x2 grid
+        assert len(out[0]) == 3
+        assert out[0][(0, 1)] == 1
+        assert out[0][(1, 0)] == 2
+        assert out[0][(1, 1)] == 3
+
+    def test_cart_comm_messaging_isolated(self):
+        def job(comm):
+            cart = create_cart(comm, (2,))
+            if comm.rank == 0:
+                cart.send('cart', 1, tag=0)
+                comm.send('world', 1, tag=0)
+                return None
+            a = comm.recv(source=0, tag=0)
+            b = cart.recv(source=0, tag=0)
+            return a, b
+
+        assert run_parallel(job, 2)[1] == ('world', 'cart')

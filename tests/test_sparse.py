@@ -1,0 +1,168 @@
+"""Tests for sparse operations: injection and interpolation semantics."""
+
+import numpy as np
+import pytest
+
+from repro import (Eq, Function, Grid, Operator, SparseTimeFunction,
+                   TimeFunction)
+from repro.mpi import run_parallel
+
+
+def _grid(comm=None):
+    return Grid(shape=(8, 8), extent=(7.0, 7.0), comm=comm)
+
+
+class TestInjection:
+    def test_on_grid_point_injection(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        src = SparseTimeFunction('src', grid, npoint=1, nt=3,
+                                 coordinates=np.array([[3.0, 4.0]]))
+        src.data[:] = 1.0
+        op = Operator([src.inject(field=u.forward, expr=src)])
+        op.apply(time_M=0)
+        # exactly the grid point (3, 4) receives weight 1
+        data = np.array(u.data[1])
+        assert data[3, 4] == pytest.approx(1.0)
+        assert data.sum() == pytest.approx(1.0)
+
+    def test_midcell_injection_weights(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        src = SparseTimeFunction('src', grid, npoint=1, nt=2,
+                                 coordinates=np.array([[2.5, 3.5]]))
+        src.data[:] = 2.0
+        op = Operator([src.inject(field=u.forward, expr=src)])
+        op.apply(time_M=0)
+        data = np.array(u.data[1])
+        for i in (2, 3):
+            for j in (3, 4):
+                assert data[i, j] == pytest.approx(0.5)
+        assert data.sum() == pytest.approx(2.0)
+
+    def test_injection_scaled_by_grid_function(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        m = Function(name='m', grid=grid, space_order=2)
+        m.data[:, :] = 4.0
+        src = SparseTimeFunction('src', grid, npoint=1, nt=2,
+                                 coordinates=np.array([[3.0, 3.0]]))
+        src.data[:] = 8.0
+        op = Operator([src.inject(field=u.forward, expr=src / m)])
+        op.apply(time_M=0)
+        assert np.array(u.data[1])[3, 3] == pytest.approx(2.0)
+
+    def test_time_varying_signature(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        src = SparseTimeFunction('src', grid, npoint=1, nt=4,
+                                 coordinates=np.array([[3.0, 3.0]]))
+        src.data[:, 0] = [1.0, 2.0, 3.0, 4.0]
+        op = Operator([src.inject(field=u.forward, expr=src)])
+        op.apply(time_M=0)
+        first = float(np.array(u.data[1])[3, 3])
+        op.apply(time_m=1, time_M=1)
+        second = float(np.array(u.data[0])[3, 3])
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_multiple_points(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        src = SparseTimeFunction('src', grid, npoint=2, nt=2,
+                                 coordinates=np.array([[1.0, 1.0],
+                                                       [6.0, 6.0]]))
+        src.data[:] = 1.0
+        op = Operator([src.inject(field=u.forward, expr=src)])
+        op.apply(time_M=0)
+        data = np.array(u.data[1])
+        assert data[1, 1] == pytest.approx(1.0)
+        assert data[6, 6] == pytest.approx(1.0)
+
+    def test_distributed_injection_no_double_count(self):
+        """A point shared by 4 ranks must inject exactly once per corner
+        (Figure 3 semantics)."""
+        def job(comm):
+            grid = _grid(comm)
+            u = TimeFunction(name='u', grid=grid, space_order=2)
+            src = SparseTimeFunction('src', grid, npoint=1, nt=2,
+                                     coordinates=np.array([[3.5, 3.5]]))
+            src.data[:] = 4.0
+            op = Operator([src.inject(field=u.forward, expr=src)],
+                          mpi='basic')
+            op.apply(time_M=0)
+            return u.data.gather()[1]
+
+        out = run_parallel(job, 4)
+        serial_grid = _grid()
+        assert out[0].sum() == pytest.approx(4.0)
+        for i in (3, 4):
+            for j in (3, 4):
+                assert out[0][i, j] == pytest.approx(1.0)
+
+
+class TestInterpolation:
+    def test_on_grid_interpolation(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        u.data[0, :, :] = np.arange(64, dtype=np.float32).reshape(8, 8)
+        rec = SparseTimeFunction('rec', grid, npoint=1, nt=1,
+                                 coordinates=np.array([[2.0, 5.0]]))
+        op = Operator([rec.interpolate(expr=u)])
+        op.apply(time_M=0)
+        assert rec.data[0, 0] == pytest.approx(21.0)
+
+    def test_midcell_interpolation_is_average(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        u.data[0, :, :] = np.arange(64, dtype=np.float32).reshape(8, 8)
+        rec = SparseTimeFunction('rec', grid, npoint=1, nt=1,
+                                 coordinates=np.array([[2.5, 5.5]]))
+        op = Operator([rec.interpolate(expr=u)])
+        op.apply(time_M=0)
+        glob = np.arange(64.0).reshape(8, 8)
+        expected = glob[2:4, 5:7].mean()
+        assert rec.data[0, 0] == pytest.approx(expected)
+
+    def test_interpolate_expression(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        v = TimeFunction(name='w', grid=grid, space_order=2)
+        u.data[0, :, :] = 2.0
+        v.data[0, :, :] = 3.0
+        rec = SparseTimeFunction('rec', grid, npoint=1, nt=1,
+                                 coordinates=np.array([[4.0, 4.0]]))
+        op = Operator([rec.interpolate(expr=u + v)])
+        op.apply(time_M=0)
+        assert rec.data[0, 0] == pytest.approx(5.0)
+
+    def test_distributed_interpolation_matches_serial(self):
+        def run(comm=None):
+            grid = _grid(comm)
+            u = TimeFunction(name='u', grid=grid, space_order=2)
+            u.data[0, :, :] = np.arange(64, dtype=np.float32).reshape(8, 8)
+            rec = SparseTimeFunction(
+                'rec', grid, npoint=3, nt=1,
+                coordinates=np.array([[3.5, 3.5], [1.2, 6.3], [0.0, 0.0]]))
+            op = Operator([rec.interpolate(expr=u)],
+                          mpi='basic' if comm else None)
+            op.apply(time_M=0)
+            return rec.data.copy()
+
+        serial = run()
+        out = run_parallel(lambda c: run(c), 4)
+        for r in out:
+            assert np.allclose(r, serial, rtol=1e-6)
+
+    def test_inject_then_record_roundtrip(self):
+        grid = _grid()
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        src = SparseTimeFunction('src', grid, npoint=1, nt=2,
+                                 coordinates=np.array([[3.0, 3.0]]))
+        rec = SparseTimeFunction('rec', grid, npoint=1, nt=2,
+                                 coordinates=np.array([[3.0, 3.0]]))
+        src.data[:] = 5.0
+        op = Operator([src.inject(field=u.forward, expr=src),
+                       rec.interpolate(expr=u.forward)])
+        op.apply(time_M=0)
+        assert rec.data[0, 0] == pytest.approx(5.0)

@@ -1,0 +1,352 @@
+"""Unit tests for the core symbolic engine (expr.py)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolics import (Add, Expr, Float, Indexed, Integer, Mul, Pow,
+                             Rational, S, Symbol, Zero, One, contains,
+                             count_ops, expand, free_symbols, linear_coeffs,
+                             preorder, sin, sympify, xreplace)
+
+x, y, z = Symbol('x'), Symbol('y'), Symbol('z')
+
+
+class TestNumbers:
+    def test_integer_identity(self):
+        assert Integer(3) == Integer(3)
+        assert Integer(3) == 3
+        assert hash(Integer(3)) == hash(Integer(3))
+
+    def test_rational_reduces(self):
+        r = Rational(2, 4)
+        assert r.value == Fraction(1, 2)
+
+    def test_rational_collapses_to_integer(self):
+        r = Rational(4, 2)
+        assert isinstance(r, Integer)
+        assert r.value == 2
+
+    def test_rational_arithmetic_exact(self):
+        assert Rational(1, 3) + Rational(1, 6) == Rational(1, 2)
+        assert Rational(1, 3) * 3 == One
+
+    def test_float_contaminates(self):
+        result = Rational(1, 2) + Float(0.25)
+        assert isinstance(result, Float)
+        assert result.value == 0.75
+
+    def test_float_equality(self):
+        assert Float(1.5) == 1.5
+
+    def test_number_comparison(self):
+        assert Integer(2) < Integer(3)
+        assert Rational(1, 2) <= Float(0.5)
+        assert Integer(5) > Rational(9, 2)
+
+    def test_sympify(self):
+        assert sympify(3) == Integer(3)
+        assert sympify(1.5) == Float(1.5)
+        assert sympify(Fraction(1, 3)) == Rational(1, 3)
+
+    def test_sympify_numpy_scalars(self):
+        import numpy as np
+        assert sympify(np.int64(3)) == Integer(3)
+        assert sympify(np.float32(0.5)) == Float(0.5)
+
+    def test_int_float_conversion(self):
+        assert int(Integer(7)) == 7
+        assert float(Rational(1, 4)) == 0.25
+
+
+class TestAdd:
+    def test_collects_like_terms(self):
+        assert 2 * x + 3 * x == 5 * x
+
+    def test_cancellation(self):
+        assert x - x == Zero
+        assert (x + y) - (x + y) == Zero
+
+    def test_numeric_folding(self):
+        assert S(1) + x + 2 == x + 3
+
+    def test_flattening(self):
+        e = Add.make(x, Add.make(y, Add.make(z, 1)))
+        assert set(e.args) >= {x, y, z}
+
+    def test_zero_identity(self):
+        assert x + 0 == x
+
+    def test_canonical_order_deterministic(self):
+        assert str(x + y + z) == str(z + y + x)
+
+    def test_empty_sum_is_zero(self):
+        assert Add.make() == Zero
+
+    def test_coefficient_merge_to_zero_drops_term(self):
+        e = 2 * x * y - 2 * x * y + z
+        assert e == z
+
+
+class TestMul:
+    def test_power_collection(self):
+        assert x * x == Pow.make(x, 2)
+        assert x * x * x == x ** 3
+
+    def test_coefficient_first(self):
+        e = x * 3
+        assert e.args[0] == Integer(3)
+
+    def test_zero_annihilates(self):
+        assert x * 0 == Zero
+
+    def test_one_identity(self):
+        assert x * 1 == x
+
+    def test_flattening(self):
+        e = Mul.make(x, Mul.make(2, y))
+        assert e == 2 * x * y
+
+    def test_negation(self):
+        assert -x == Mul.make(-1, x)
+        assert -(-x) == x
+
+    def test_division(self):
+        e = x / y
+        assert e == Mul.make(x, Pow.make(y, -1))
+
+    def test_rational_power_combining(self):
+        assert (x ** 2) * (x ** -2) == One
+
+
+class TestPow:
+    def test_zero_exponent(self):
+        assert x ** 0 == One
+
+    def test_one_exponent(self):
+        assert x ** 1 == x
+
+    def test_numeric_folding(self):
+        assert S(2) ** 10 == Integer(1024)
+        assert Rational(1, 2) ** 2 == Rational(1, 4)
+
+    def test_nested_integer_power(self):
+        assert (x ** 2) ** 3 == x ** 6
+
+    def test_negative_power_of_number(self):
+        assert S(4) ** -1 == Rational(1, 4)
+
+    def test_mul_base_distributes(self):
+        assert (x * y) ** 2 == x ** 2 * y ** 2
+
+    def test_base_exp_accessors(self):
+        p = x ** y
+        assert p.base == x and p.exp == y
+
+
+class TestEqualityHashing:
+    def test_structural_equality(self):
+        assert (x + y) * 2 == 2 * (y + x)
+
+    def test_hash_consistency(self):
+        a, b = (x + y) ** 2, (y + x) ** 2
+        assert a == b and hash(a) == hash(b)
+
+    def test_symbols_by_name(self):
+        assert Symbol('a') == Symbol('a')
+        assert Symbol('a') != Symbol('b')
+
+    def test_dict_key_usage(self):
+        d = {x + y: 1}
+        assert d[y + x] == 1
+
+
+class TestTraversal:
+    def test_preorder_visits_all(self):
+        e = (x + y) * z
+        nodes = list(preorder(e))
+        assert x in nodes and y in nodes and z in nodes
+
+    def test_free_symbols(self):
+        assert free_symbols((x + 2 * y) ** z) == {x, y, z}
+
+    def test_contains(self):
+        assert contains((x + y) * z, y)
+        assert not contains(x * z, y)
+
+    def test_atoms_filter(self):
+        e = 2 * x + y
+        assert e.atoms(Symbol) == {x, y}
+
+
+class TestXreplace:
+    def test_symbol_replacement(self):
+        assert xreplace(x + y, {x: z}) == z + y
+
+    def test_subtree_replacement(self):
+        e = (x + y) * z
+        assert xreplace(e, {x + y: z}) == z ** 2
+
+    def test_identity_returns_same_object(self):
+        e = x + y
+        assert xreplace(e, {z: x}) is e
+
+    def test_replacement_recanonicalizes(self):
+        e = 2 * x + y
+        assert xreplace(e, {y: -2 * x}) == Zero
+
+    def test_replacement_with_plain_number(self):
+        assert xreplace(x + y, {x: 2}) == y + 2
+
+
+class TestExpand:
+    def test_product_of_sums(self):
+        assert expand((x + y) * (x - y)) == x ** 2 - y ** 2
+
+    def test_power_of_sum(self):
+        assert expand((x + y) ** 2) == x ** 2 + 2 * x * y + y ** 2
+
+    def test_nested(self):
+        e = expand(z * (x + y) + (x + 1) * (y + 1))
+        assert e == x * z + y * z + x * y + x + y + 1
+
+
+class TestLinearCoeffs:
+    def test_simple(self):
+        a, b = linear_coeffs(3 * x + 5, x)
+        assert a == 3 and b == 5
+
+    def test_symbolic_coefficient(self):
+        a, b = linear_coeffs(y * x + z, x)
+        assert a == y and b == z
+
+    def test_unexpanded_product(self):
+        a, b = linear_coeffs(y * (x + z), x)
+        assert a == y and b == y * z
+
+    def test_absent_target(self):
+        a, b = linear_coeffs(y + z, x)
+        assert a == Zero and b == y + z
+
+    def test_nonlinear_raises(self):
+        with pytest.raises(ValueError):
+            linear_coeffs(x ** 2, x)
+
+    def test_product_of_targets_raises(self):
+        with pytest.raises(ValueError):
+            linear_coeffs(x * (x + y), x)
+
+
+class TestCountOps:
+    def test_add(self):
+        assert count_ops(x + y + z) == 2
+
+    def test_shared_subexpression_charged_once(self):
+        e = (x + y) * (x + y)
+        assert count_ops(e) <= 3
+
+    def test_pow_small_integer(self):
+        assert count_ops(x ** 3) == 2
+
+    def test_function_cost(self):
+        assert count_ops(sin(x)) >= 1
+
+
+class TestEvalf:
+    def test_arithmetic(self):
+        e = (x + 2) * y
+        assert e.evalf({x: 1.0, y: 3.0}) == 9.0
+
+    def test_functions(self):
+        assert abs(sin(x).evalf({x: math.pi / 2}) - 1.0) < 1e-12
+
+    def test_unbound_raises(self):
+        with pytest.raises(ValueError):
+            (x + y).evalf({x: 1.0})
+
+
+class TestIndexed:
+    class FakeFunction:
+        name = 'u'
+
+    def test_construction(self):
+        u = self.FakeFunction()
+        acc = Indexed(u, x, y + 1)
+        assert acc.indices == (x, y + 1)
+        assert str(acc) == 'u[x, 1 + y]'
+
+    def test_equality_by_base_name(self):
+        u1, u2 = self.FakeFunction(), self.FakeFunction()
+        assert Indexed(u1, x) == Indexed(u2, x)
+
+    def test_participates_in_arithmetic(self):
+        u = self.FakeFunction()
+        acc = Indexed(u, x)
+        e = 2 * acc + acc
+        assert e == 3 * acc
+
+
+# -- property-based tests -----------------------------------------------------
+
+_small_ints = st.integers(min_value=-8, max_value=8)
+
+
+@st.composite
+def exprs(draw, depth=0):
+    """Random small expressions over {x, y} and small integers."""
+    if depth > 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return x
+        if choice == 1:
+            return y
+        return S(draw(_small_ints))
+    op = draw(st.integers(0, 2))
+    a = draw(exprs(depth=depth + 1))
+    b = draw(exprs(depth=depth + 1))
+    if op == 0:
+        return a + b
+    if op == 1:
+        return a * b
+    return a - b
+
+
+@given(exprs(), _small_ints, _small_ints)
+@settings(max_examples=80, deadline=None)
+def test_canonicalization_preserves_value(e, xv, yv):
+    """Canonical construction must not change the numeric value."""
+    expected = e.evalf({x: float(xv), y: float(yv)})
+    rebuilt = xreplace(e, {x: S(xv), y: S(yv)})
+    assert isinstance(rebuilt, Expr)
+    assert math.isclose(float(rebuilt.value), expected,
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(exprs(), exprs())
+@settings(max_examples=60, deadline=None)
+def test_addition_commutes_structurally(a, b):
+    assert a + b == b + a
+
+
+@given(exprs(), exprs())
+@settings(max_examples=60, deadline=None)
+def test_multiplication_commutes_structurally(a, b):
+    assert a * b == b * a
+
+
+@given(exprs())
+@settings(max_examples=60, deadline=None)
+def test_subtraction_self_is_zero(e):
+    assert e - e == Zero
+
+
+@given(exprs())
+@settings(max_examples=60, deadline=None)
+def test_expand_preserves_value(e):
+    expanded = expand(e)
+    v1 = e.evalf({x: 1.37, y: -2.11})
+    v2 = expanded.evalf({x: 1.37, y: -2.11})
+    assert math.isclose(v1, v2, rel_tol=1e-9, abs_tol=1e-7)

@@ -1,0 +1,177 @@
+"""Tests for finite-difference weight generation (Fornberg)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolics import fd_weights, fornberg_weights, sample_offsets
+
+
+class TestClassicalTables:
+    """Weights must reproduce the standard central-difference tables."""
+
+    def test_d1_order2(self):
+        assert fornberg_weights(1, [-1, 0, 1]) == [
+            Fraction(-1, 2), Fraction(0), Fraction(1, 2)]
+
+    def test_d2_order2(self):
+        assert fornberg_weights(2, [-1, 0, 1]) == [
+            Fraction(1), Fraction(-2), Fraction(1)]
+
+    def test_d1_order4(self):
+        assert fornberg_weights(1, [-2, -1, 0, 1, 2]) == [
+            Fraction(1, 12), Fraction(-2, 3), Fraction(0),
+            Fraction(2, 3), Fraction(-1, 12)]
+
+    def test_d2_order4(self):
+        assert fornberg_weights(2, [-2, -1, 0, 1, 2]) == [
+            Fraction(-1, 12), Fraction(4, 3), Fraction(-5, 2),
+            Fraction(4, 3), Fraction(-1, 12)]
+
+    def test_d2_order8_center(self):
+        w = fornberg_weights(2, range(-4, 5))
+        assert w[4] == Fraction(-205, 72)
+        assert w[0] == w[8] == Fraction(-1, 560)
+
+    def test_d1_order8_antisymmetric(self):
+        w = fornberg_weights(1, range(-4, 5))
+        assert w[8] == Fraction(-1, 280)
+        for i in range(9):
+            assert w[i] == -w[8 - i]
+
+    def test_forward_d1(self):
+        assert fornberg_weights(1, [0, 1]) == [Fraction(-1), Fraction(1)]
+
+    def test_backward_d1(self):
+        assert fornberg_weights(1, [-1, 0]) == [Fraction(-1), Fraction(1)]
+
+    def test_interpolation_weights(self):
+        # order 0 = interpolation: at x0=1/2 between 0 and 1
+        w = fornberg_weights(0, [0, 1], x0=Fraction(1, 2))
+        assert w == [Fraction(1, 2), Fraction(1, 2)]
+
+    def test_staggered_d1_order4(self):
+        offs, w = fd_weights(1, 4, stagger=Fraction(1, 2))
+        assert offs == [Fraction(-3, 2), Fraction(-1, 2),
+                        Fraction(1, 2), Fraction(3, 2)]
+        assert w == [Fraction(1, 24), Fraction(-9, 8),
+                     Fraction(9, 8), Fraction(-1, 24)]
+
+    def test_staggered_d1_order2(self):
+        offs, w = fd_weights(1, 2, stagger=Fraction(1, 2))
+        assert w == [Fraction(-1), Fraction(1)]
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fornberg_weights(2, [0, 1])
+
+    def test_duplicate_offsets(self):
+        with pytest.raises(ValueError):
+            fornberg_weights(1, [0, 0, 1])
+
+    def test_negative_order(self):
+        with pytest.raises(ValueError):
+            fornberg_weights(-1, [0, 1])
+
+    def test_odd_fd_order_rejected(self):
+        with pytest.raises(ValueError):
+            fd_weights(1, 3)
+
+    def test_bad_stagger_rejected(self):
+        with pytest.raises(ValueError):
+            sample_offsets(1, 2, stagger=Fraction(1, 3))
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize('so', [2, 4, 8, 12, 16])
+    def test_derivative_weights_sum_to_zero(self, so):
+        """Any derivative of a constant is zero."""
+        for d in (1, 2):
+            _, w = fd_weights(d, so)
+            assert sum(w) == 0
+
+    @pytest.mark.parametrize('so', [2, 4, 8, 16])
+    def test_even_derivative_weights_symmetric(self, so):
+        _, w = fd_weights(2, so)
+        assert w == w[::-1]
+
+    @pytest.mark.parametrize('so', [2, 4, 8, 16])
+    def test_stencil_point_count(self, so):
+        offs, _ = fd_weights(2, so)
+        assert len(offs) == so + 1
+
+    @pytest.mark.parametrize('so', [2, 4, 8])
+    def test_staggered_point_count(self, so):
+        offs, _ = fd_weights(1, so, stagger=Fraction(1, 2))
+        assert len(offs) == so
+
+    def test_staggered_offsets_are_half_integers(self):
+        offs, _ = fd_weights(1, 8, stagger=Fraction(1, 2))
+        for o in offs:
+            assert o.denominator == 2
+
+
+class TestExactnessOnPolynomials:
+    """An order-p scheme must differentiate polynomials of degree <= p
+    (plus the derivative order) exactly — the defining property."""
+
+    @pytest.mark.parametrize('so', [2, 4, 8])
+    @pytest.mark.parametrize('d', [1, 2])
+    def test_exactness(self, so, d):
+        offs, w = fd_weights(d, so)
+        for degree in range(so + d):
+            # exact derivative of x^degree at 0
+            if degree == d:
+                import math
+                expected = Fraction(math.factorial(d))
+            else:
+                expected = Fraction(0)
+            approx = sum(wi * (oi ** degree) for wi, oi in zip(w, offs))
+            assert approx == expected, (so, d, degree)
+
+    @pytest.mark.parametrize('so', [2, 4, 8])
+    def test_staggered_exactness(self, so):
+        offs, w = fd_weights(1, so, stagger=Fraction(1, 2))
+        for degree in range(so + 1):
+            expected = Fraction(1) if degree == 1 else Fraction(0)
+            approx = sum(wi * (oi ** degree) for wi, oi in zip(w, offs))
+            assert approx == expected
+
+
+@given(st.integers(1, 3),
+       st.lists(st.integers(-6, 6), min_size=5, max_size=9, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_fornberg_exact_on_polynomials_any_grid(order, offsets):
+    """Property: Fornberg weights on arbitrary distinct offsets are exact
+    for polynomials of degree < len(offsets)."""
+    import math
+    w = fornberg_weights(order, offsets)
+    for degree in range(len(offsets)):
+        expected = Fraction(math.factorial(order)) if degree == order \
+            else Fraction(0)
+        if degree < order:
+            expected = Fraction(0)
+        approx = sum(wi * (Fraction(oi) ** degree)
+                     for wi, oi in zip(w, offsets))
+        assert approx == expected
+
+
+@given(st.integers(2, 8).filter(lambda n: n % 2 == 0))
+@settings(max_examples=20, deadline=None)
+def test_convergence_on_sine(so):
+    """Numerical check: the order-so first derivative of sin at 0
+    converges at the design order."""
+    errs = []
+    for h in (0.1, 0.05):
+        offs, w = fd_weights(1, so)
+        approx = sum(float(wi) * np.sin(float(oi) * h)
+                     for wi, oi in zip(w, offs)) / h
+        errs.append(abs(approx - 1.0))
+    if errs[1] > 1e-13:  # above rounding floor
+        rate = np.log2(errs[0] / errs[1])
+        assert rate > so - 0.75

@@ -1,0 +1,307 @@
+"""Tests for derivative expansion, solve, CSE, factorization, hoisting
+and the printers."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import Grid, TimeFunction, Function
+from repro.symbolics import (Derivative, Indexed, Rational, S, Symbol, Temp,
+                             ccode, cse, expand_derivatives, factorize,
+                             hoist_invariants, indexeds, linear_coeffs,
+                             preorder, pycode, sin, solve, sqrt, xreplace)
+
+
+@pytest.fixture
+def grid2d():
+    return Grid(shape=(8, 8), extent=(7.0, 7.0))
+
+
+class TestDerivativeExpansion:
+    def test_dx2_second_order(self, grid2d):
+        u = TimeFunction(name='u', grid=grid2d, space_order=2)
+        x, y = grid2d.dimensions
+        e = Derivative(u, (x, 2), fd_order=2).evaluate
+        accs = indexeds(e)
+        offsets = sorted(str(a.indices[1]) for a in accs)
+        assert len(accs) == 3
+        # weights 1, -2, 1 over x-1, x, x+1 divided by h_x^2
+        assert 'h_x' in str(e)
+
+    def test_laplace_term_count(self, grid2d):
+        u = TimeFunction(name='u', grid=grid2d, space_order=8)
+        e = expand_derivatives(u.laplace)
+        # 2 dims x 9 points, center shared per dim -> 18 accesses
+        assert len(indexeds(e)) == 18
+
+    def test_dt_forward_two_point(self, grid2d):
+        u = TimeFunction(name='u', grid=grid2d, space_order=2, time_order=1)
+        e = expand_derivatives(u.dt)
+        t = grid2d.stepping_dim
+        time_offsets = {str(a.indices[0]) for a in indexeds(e)}
+        assert time_offsets == {'t', '1 + t'}
+
+    def test_dt2_three_point(self, grid2d):
+        u = TimeFunction(name='u', grid=grid2d, space_order=2, time_order=2)
+        e = expand_derivatives(u.dt2)
+        time_offsets = {str(a.indices[0]) for a in indexeds(e)}
+        assert time_offsets == {'-1 + t', 't', '1 + t'}
+
+    def test_numeric_accuracy_sine(self, grid2d):
+        """Expanded stencil applied to sin(x) approximates cos(x)."""
+        u = Function(name='f', grid=grid2d, space_order=8)
+        x, y = grid2d.dimensions
+        e = Derivative(u, (x, 1), fd_order=8).evaluate
+        h = 0.01
+        # evaluate by binding each access f[x+k, y] -> sin(k*h)
+        bindings = {}
+        for acc in indexeds(e):
+            from repro.ir.lowered import parse_index
+            k = parse_index(acc.indices[0], x)
+            bindings[acc] = math.sin(k * h)
+        bindings[x.spacing] = h
+        val = e.evalf(bindings)
+        assert abs(val - 1.0) < 1e-9
+
+    def test_nested_derivative_expands(self, grid2d):
+        u = TimeFunction(name='u', grid=grid2d, space_order=2)
+        x, y = grid2d.dimensions
+        inner = Derivative(u, (x, 1), fd_order=2)
+        outer = Derivative(inner, (y, 1), fd_order=2)
+        e = outer.evaluate
+        # cross-derivative: 2x2 nonzero weights = 4 accesses
+        assert len(indexeds(e)) == 4
+        assert not any(n.is_Derivative for n in preorder(e))
+
+    def test_adjoint_sign(self, grid2d):
+        u = TimeFunction(name='u', grid=grid2d, space_order=2)
+        x, _ = grid2d.dimensions
+        d1 = Derivative(u, (x, 1), fd_order=2)
+        d2 = Derivative(u, (x, 2), fd_order=2)
+        assert expand_derivatives(d1.T) == expand_derivatives(-d1)
+        assert expand_derivatives(d2.T) == expand_derivatives(d2)
+
+    def test_staggered_expansion_integer_indices(self, grid2d):
+        x, y = grid2d.dimensions
+        v = TimeFunction(name='v', grid=grid2d, space_order=4,
+                         staggered=(x,))
+        # derivative of x-staggered field evaluated at nodes
+        e = Derivative(v, (x, 1), fd_order=4, x0={x: Fraction(0)}).evaluate
+        for acc in indexeds(e):
+            from repro.ir.lowered import parse_index
+            parse_index(acc.indices[1], x)  # must not raise
+
+    def test_mixed_stagger_requires_x0(self, grid2d):
+        x, y = grid2d.dimensions
+        v = TimeFunction(name='v', grid=grid2d, space_order=4,
+                         staggered=(x,))
+        # staggered-to-staggered (x0 = 1/2): central even stencil
+        e = Derivative(v, (x, 2), fd_order=4,
+                       x0={x: Fraction(1, 2)}).evaluate
+        assert len(indexeds(e)) == 5
+
+
+class TestSolve:
+    def test_linear_symbol(self):
+        x, y = Symbol('a'), Symbol('b')
+        assert solve(2 * x - 6 * y, x) == 3 * y
+
+    def test_wave_update_reproduces_residual(self, grid2d):
+        u = TimeFunction(name='u', grid=grid2d, space_order=2, time_order=2)
+        m = Function(name='m', grid=grid2d, space_order=2)
+        pde = m * u.dt2 - u.laplace
+        target = u.forward
+        update = solve(pde, target)
+        # substituting back must satisfy the (expanded) equation
+        residual = expand_derivatives(pde)
+        from repro.symbolics import indexify
+        residual = indexify(residual)
+        back = xreplace(residual, {indexify(target)
+                                   if hasattr(target, 'indexify')
+                                   else target: update})
+        a, b = linear_coeffs(back, Symbol('__none__'))
+        # numeric check at arbitrary bindings
+        rng = np.random.default_rng(7)
+        bindings = {}
+        for node in preorder(back):
+            if node.is_Indexed and node not in bindings:
+                bindings[node] = float(rng.uniform(-1, 1))
+            elif node.is_Symbol and node not in bindings:
+                bindings[node] = float(rng.uniform(0.5, 1.5))
+        assert abs(back.evalf(bindings)) < 1e-9
+
+    def test_missing_target_raises(self):
+        a, b = Symbol('a'), Symbol('b')
+        with pytest.raises(ValueError):
+            solve(2 * b, a)
+
+
+class TestCSE:
+    def test_extracts_repeated(self):
+        class F:
+            name = 'u'
+        x, c = Symbol('x'), Symbol('c')
+        u = Indexed(F(), x)
+        # note: a numeric coefficient would distribute over the sum at
+        # construction (SymPy semantics), so use a symbolic one
+        e = (u + 1) ** 2 + (u + 1) * c
+        temps, out = cse([(None, e)])
+        assert len(temps) == 1
+        t, rhs = temps[0]
+        assert rhs == u + 1
+
+    def test_no_candidates_is_noop(self):
+        x = Symbol('x')
+        temps, out = cse([(None, x + 1)])
+        assert temps == []
+
+    def test_index_arithmetic_never_extracted(self):
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        a1 = Indexed(F(), x + 2)
+        a2 = Indexed(F(), x + 2)
+        e = a1 * 3 + a2 * 5 + Indexed(F(), x + 1)
+        temps, out = cse([(None, e)])
+        for t, rhs in temps:
+            assert not rhs == x + 2
+
+    def test_preserves_value(self):
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        u0, u1 = Indexed(F(), x), Indexed(F(), x + 1)
+        e = (u0 * u1 + 2) * (u0 * u1 + 2) + u0 * u1
+        temps, [(_, out)] = cse([(None, e)])
+        bindings = {u0: 1.7, u1: -0.3}
+        for t, rhs in temps:
+            bindings[t] = rhs.evalf(bindings)
+        assert math.isclose(out.evalf(bindings), e.evalf({u0: 1.7, u1: -0.3}))
+
+    def test_nested_candidates_chain(self):
+        class F:
+            name = 'u'
+        x, a, b = Symbol('x'), Symbol('a'), Symbol('b')
+        u0 = Indexed(F(), x)
+        inner = u0 + 1
+        outer = (inner ** 2)
+        e = outer * a + outer * b + inner
+        temps, _ = cse([(None, e)])
+        names = [t.name for t, _ in temps]
+        assert len(temps) >= 2
+        # the larger temp must reference the smaller one
+        big_rhs = temps[-1][1]
+        assert any(isinstance(n, Temp) for n in preorder(big_rhs))
+
+
+class TestFactorize:
+    def test_groups_by_scalar_prefactor(self):
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        r1 = Symbol('r1')
+        a, b = Indexed(F(), x), Indexed(F(), x + 1)
+        e = r1 * a + r1 * b
+        f = factorize(e)
+        assert f == r1 * (a + b)
+
+    def test_preserves_value(self):
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        r1, r2 = Symbol('r1'), Symbol('r2')
+        a, b, c = Indexed(F(), x), Indexed(F(), x + 1), Indexed(F(), x + 2)
+        e = r1 * a + r1 * b + r2 * c
+        f = factorize(e)
+        bind = {a: 0.3, b: -1.2, c: 2.5, r1: 0.7, r2: -0.1}
+        assert math.isclose(f.evalf(bind), e.evalf(bind))
+
+    def test_flop_reduction(self):
+        from repro.symbolics import count_ops
+
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        r1 = Symbol('r1')
+        terms = [r1 * Indexed(F(), x + i) for i in range(5)]
+        e = S(0)
+        for t in terms:
+            e = e + t
+        assert count_ops(factorize(e)) < count_ops(e)
+
+
+class TestHoistInvariants:
+    def test_hoists_spacing_expressions(self):
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        h = Symbol('h_x')
+        u0 = Indexed(F(), x)
+        e = u0 / (h * h) + 1 / (h * h)
+
+        def invariant(n):
+            return not any(s.is_Indexed for s in preorder(n))
+
+        temps, [out] = hoist_invariants([e], invariant)
+        assert len(temps) >= 1
+        assert any('h_x' in str(rhs) for _, rhs in temps)
+
+    def test_indexed_subtrees_untouched(self):
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        u0 = Indexed(F(), x + 3)
+
+        def invariant(n):
+            return not any(s.is_Indexed for s in preorder(n))
+
+        temps, [out] = hoist_invariants([2 * u0], invariant)
+        assert out == 2 * u0
+
+
+class TestPrinters:
+    def test_ccode_float_literals(self):
+        x = Symbol('x')
+        assert 'F' in ccode(x * 0.5)
+
+    def test_ccode_integer_pow_unrolled(self):
+        x = Symbol('x')
+        assert ccode(x ** 2) == 'x*x'
+        assert ccode(x ** 3) == 'x*x*x'
+
+    def test_ccode_division(self):
+        x, h = Symbol('x'), Symbol('h_x')
+        text = ccode(x / h ** 2)
+        assert '/' in text and 'pow' not in text
+
+    def test_ccode_sqrt(self):
+        x = Symbol('x')
+        assert 'sqrtf' in ccode(sqrt(x))
+
+    def test_ccode_functions(self):
+        x = Symbol('x')
+        assert ccode(sin(x)) == 'sinf(x)'
+
+    def test_pycode_numpy_namespace(self):
+        x = Symbol('x')
+        assert pycode(sin(x)) == 'np.sin(x)'
+
+    def test_pycode_evaluates(self):
+        x = Symbol('x')
+        e = (x + 2) ** 2 / 4 - sin(x)
+        text = pycode(e)
+        val = eval(text, {'np': np, 'x': 0.5})
+        assert math.isclose(val, e.evalf({x: 0.5}), rel_tol=1e-9)
+
+    def test_pycode_rational_as_float(self):
+        x = Symbol('x')
+        assert pycode(Rational(1, 3) * x) in (
+            '0.3333333333333333*x', 'x*0.3333333333333333')
+
+    def test_indexed_c_style(self):
+        class F:
+            name = 'u'
+        x = Symbol('x')
+        assert ccode(Indexed(F(), x + 2)) == 'u[2 + x]'
