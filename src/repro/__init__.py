@@ -19,11 +19,9 @@ Quickstart (the paper's Listing 1)::
     op.apply(time_M=1, dt=0.01)
 """
 
-#: global defaults, mirroring Devito's DEVITO_MPI-style configuration
-configuration = {
-    'mpi': 'basic',        # default DMP pattern for distributed grids
-    'opt': True,           # flop-reducing pipeline on by default
-}
+#: global switchboard, mirroring Devito's DEVITO_MPI-style configuration;
+#: a validating mapping seeded from REPRO_MPI / REPRO_PROFILING / REPRO_OPT
+from .parameters import Configuration, configuration
 
 from .symbolics import (Derivative, Symbol, cos, exp, sin, sqrt,  # noqa: E402
                         solve as symbolic_solve)
@@ -36,13 +34,15 @@ from .dsl.tensor import (TensorTimeFunction, VectorTimeFunction,  # noqa: E402
                          div, grad, tr)
 from .dsl.sparse import SparseFunction, SparseTimeFunction  # noqa: E402
 from .dsl.equation import Eq, solve  # noqa: E402
-from .dsl.operator import Operator, PerformanceSummary  # noqa: E402
+from .dsl.operator import Operator  # noqa: E402
+from .profiling import PerfEntry, PerformanceSummary  # noqa: E402
 from .mpi import parallel, run_parallel  # noqa: E402
 
 __version__ = '1.0.0'
 
 __all__ = [
-    'configuration', 'Derivative', 'Symbol', 'cos', 'exp', 'sin', 'sqrt',
+    'configuration', 'Configuration', 'PerfEntry',
+    'Derivative', 'Symbol', 'cos', 'exp', 'sin', 'sqrt',
     'symbolic_solve', 'Dimension', 'SpaceDimension', 'SteppingDimension',
     'TimeDimension', 'Grid', 'Constant', 'Function', 'TimeFunction',
     'TensorTimeFunction', 'VectorTimeFunction', 'div', 'grad', 'tr',

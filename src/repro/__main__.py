@@ -1,0 +1,10 @@
+"""``python -m repro`` — alias of the CLI benchmark runner.
+
+The ``repro`` console script (declared in ``pyproject.toml``) and
+``python -m repro.cli`` are equivalent entry points.
+"""
+
+from .cli import main
+
+if __name__ == '__main__':
+    main()

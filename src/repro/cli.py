@@ -66,15 +66,29 @@ def _parser():
                    help='disable CSE/factorization/hoisting')
     p.add_argument('--verify', action='store_true',
                    help='with --ranks > 1: check against the serial run')
+    p.add_argument('--profile', nargs='?', const='basic',
+                   choices=['basic', 'advanced'], default=None,
+                   help='print the per-section performance table '
+                        '(advanced: also record per-timestep traces and '
+                        'write a JSON artifact, see --profile-out)')
+    p.add_argument('--profile-out', default='repro_profile.json',
+                   metavar='PATH',
+                   help='JSON artifact path for --profile advanced '
+                        '(loadable by repro.perfmodel.report.'
+                        'load_profile_json)')
     return p
 
 
 def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                   ranks=1, topology=None, opt=True, verify=False,
-                  out=None):
+                  out=None, profile=None, profile_out=None):
     """Run one benchmark; returns (summary, gathered primary field)."""
     # resolve stdout at call time (pytest capture swaps sys.stdout)
     out = out if out is not None else sys.stdout
+    from . import configuration
+    if profile is not None:
+        saved_level = configuration['profiling']
+        configuration['profiling'] = profile
     setup = _setups()[kernel]
     spacing = (10.0,) * len(shape)
 
@@ -91,26 +105,33 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
             else wf[0].data.gather()
         return summary, field, solver.op
 
-    if ranks == 1:
-        summary, field, op = single()
-        _report(kernel, shape, space_order, mpi, 1, summary, op, out)
+    try:
+        if ranks == 1:
+            summary, field, op = single()
+            _report(kernel, shape, space_order, mpi, 1, summary, op, out,
+                    profile=profile, profile_out=profile_out)
+            return summary, field
+
+        from .mpi import run_parallel
+        results = run_parallel(lambda c: single(c), ranks)
+        summary, field, op = results[0]
+        _report(kernel, shape, space_order, mpi, ranks, summary, op, out,
+                profile=profile, profile_out=profile_out)
+        if verify:
+            serial_summary, serial_field, _ = single()
+            ok = np.array_equal(field, serial_field)
+            print('verification vs serial run: %s'
+                  % ('IDENTICAL' if ok else 'MISMATCH'), file=out)
+            if not ok:
+                raise SystemExit(1)
         return summary, field
-
-    from .mpi import run_parallel
-    results = run_parallel(lambda c: single(c), ranks)
-    summary, field, op = results[0]
-    _report(kernel, shape, space_order, mpi, ranks, summary, op, out)
-    if verify:
-        serial_summary, serial_field, _ = single()
-        ok = np.array_equal(field, serial_field)
-        print('verification vs serial run: %s'
-              % ('IDENTICAL' if ok else 'MISMATCH'), file=out)
-        if not ok:
-            raise SystemExit(1)
-    return summary, field
+    finally:
+        if profile is not None:
+            configuration['profiling'] = saved_level
 
 
-def _report(kernel, shape, so, mpi, ranks, summary, op, out):
+def _report(kernel, shape, so, mpi, ranks, summary, op, out,
+            profile=None, profile_out=None):
     print('--- %s | shape %s | SDO %d | mpi=%s | ranks=%d ---'
           % (kernel, 'x'.join(map(str, shape)), so, mpi, ranks), file=out)
     print('timesteps        : %d' % summary.timesteps, file=out)
@@ -120,6 +141,17 @@ def _report(kernel, shape, so, mpi, ranks, summary, op, out):
     print('flops/point      : %d' % op.flops_per_point, file=out)
     print('operational int. : %.2f F/B (compile-time, from the AST)'
           % op.oi, file=out)
+    if profile is not None and len(summary):
+        print(file=out)
+        print('per-section performance (rank 0 view; min/max/avg across '
+              '%d rank%s):' % (summary.nranks,
+                               's' if summary.nranks != 1 else ''),
+              file=out)
+        for line in summary.table():
+            print(line, file=out)
+        if profile == 'advanced' and profile_out:
+            summary.save_json(profile_out)
+            print('profile JSON written to %s' % profile_out, file=out)
 
 
 def main(argv=None):
@@ -129,7 +161,8 @@ def main(argv=None):
     run_benchmark(args.kernel, args.shape, args.tn, args.space_order,
                   nbl=args.nbl, mpi=args.mpi, ranks=args.ranks,
                   topology=args.topology, opt=not args.no_opt,
-                  verify=args.verify)
+                  verify=args.verify, profile=args.profile,
+                  profile_out=args.profile_out)
 
 
 if __name__ == '__main__':

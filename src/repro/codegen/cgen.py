@@ -14,6 +14,7 @@ backend; tests validate the C structurally.
 from __future__ import annotations
 
 from ..mpi import core_region, remainder_regions
+from ..profiling import assign_section_names
 from ..symbolics import CPrinter, Indexed, Symbol, xreplace, preorder
 from .common import cluster_union_widths, function_nb
 
@@ -95,13 +96,21 @@ def _params(schedule):
     return names, scalars
 
 
-def generate_c(schedule, name='Kernel'):
-    """Emit the complete C translation unit for ``schedule``."""
+def generate_c(schedule, name='Kernel', profiling='off'):
+    """Emit the complete C translation unit for ``schedule``.
+
+    With ``profiling`` != 'off', the paper-style timer surface is added:
+    a ``struct profiler`` with one ``double`` per named section, passed
+    as the trailing kernel argument, and ``START``/``STOP`` brackets
+    around every section (gettimeofday, as Devito's C backend emits).
+    """
     grid = schedule.grid
     dist = grid.distributor
     printer = CPrinter()
     tvars = _time_var_names(schedule)
     em = _CEmitter()
+    instrument = profiling != 'off'
+    preamble_names, step_names = assign_section_names(schedule)
 
     em.emit('#define _POSIX_C_SOURCE 200809L')
     em.emit('#include <stdlib.h>')
@@ -109,7 +118,35 @@ def generate_c(schedule, name='Kernel'):
     if schedule.mpi_mode:
         em.emit('#include "mpi.h"')
     em.emit('#include "omp.h"')
+    if instrument:
+        em.emit('#include <sys/time.h>')
+        em.emit()
+        em.emit('#define START(S) struct timeval start_ ## S , end_ ## S '
+                '; gettimeofday(&start_ ## S , NULL);')
+        em.emit('#define STOP(S,T) gettimeofday(&end_ ## S , NULL); '
+                'T->S += (double)(end_ ## S .tv_sec '
+                '- start_ ## S .tv_sec) '
+                '+ (double)(end_ ## S .tv_usec '
+                '- start_ ## S .tv_usec)/1000000;')
+        em.emit()
+        seen = []
+        for sname in preamble_names + step_names:
+            if sname not in seen:
+                seen.append(sname)
+        em.open_block('struct profiler')
+        for sname in seen:
+            em.emit('double %s;' % sname)
+        em.close_block()
+        em.lines[-1] += ' ;'
     em.emit()
+
+    def start(sname):
+        if instrument:
+            em.emit('START(%s)' % sname)
+
+    def stop(sname):
+        if instrument:
+            em.emit('STOP(%s,timers)' % sname)
 
     fnames, scalars = _params(schedule)
 
@@ -130,6 +167,8 @@ def generate_c(schedule, name='Kernel'):
              for d in grid.dimensions]
     if schedule.mpi_mode:
         args.append('MPI_Comm comm')
+    if instrument:
+        args.append('struct profiler * timers')
     em.open_block('int %s(%s)' % (name, ', '.join(args)))
 
     for _, rhs in schedule.scalar_assignments:
@@ -139,9 +178,13 @@ def generate_c(schedule, name='Kernel'):
     if schedule.scalar_assignments:
         em.emit()
 
-    for req in schedule.preamble_halo:
+    for req, sname in zip(schedule.preamble_halo, preamble_names):
+        em.emit('/* begin %s (hoisted, time-invariant) */' % sname)
+        start(sname)
         em.emit('haloupdate_pre_%s(%s_vec, comm);'
                 % (req.function.name, req.function.name))
+        stop(sname)
+        em.emit('/* end %s */' % sname)
 
     # time loop with modulo buffer variables (Listing 11 style)
     inits = ', '.join('%s = (time + %d)%%(%d)' % (v, s, nb)
@@ -153,7 +196,9 @@ def generate_c(schedule, name='Kernel'):
                  ', ' + steps if steps else ''))
     em.open_block(header)
 
-    for step in schedule.steps:
+    for step, sname in zip(schedule.steps, step_names):
+        em.emit('/* begin %s */' % sname)
+        start(sname)
         if step.is_halo:
             for req in step.exchanges:
                 tvar = tvars.get((req.time_shift,
@@ -178,6 +223,8 @@ def generate_c(schedule, name='Kernel'):
             _emit_compute(em, schedule, step, printer, tvars)
         else:
             _emit_sparse_c(em, step, printer, tvars)
+        stop(sname)
+        em.emit('/* end %s */' % sname)
 
     em.close_block()  # time loop
     em.emit('return 0;')

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mpi import core_region, make_exchanger, remainder_regions
+from ..profiling import Profiler, SectionMeta, assign_section_names
 from ..symbolics import PyPrinter
 from .common import (RESERVED_NAMES, cluster_union_widths, function_nb,
                      validate_names)
@@ -31,16 +32,18 @@ _INDENT = '    '
 class PyKernel:
     """A compiled kernel plus everything needed to invoke it."""
 
-    def __init__(self, source, func, exchangers, sparse_plans, schedule):
+    def __init__(self, source, func, exchangers, sparse_plans, schedule,
+                 profiler=None):
         self.source = source
         self.func = func
         self.exchangers = exchangers
         self.sparse_plans = sparse_plans
         self.schedule = schedule
+        self.profiler = profiler
 
-    def __call__(self, time_m, time_M, arrays, params, comm):
+    def __call__(self, time_m, time_M, arrays, params, comm, timer=None):
         return self.func(time_m, time_M, arrays, params, self.exchangers,
-                         self.sparse_plans, comm, np)
+                         self.sparse_plans, comm, np, timer)
 
 
 class _Emitter:
@@ -133,15 +136,35 @@ class _SparsePrinter(PyPrinter):
         return super()._print(expr)
 
 
-def generate_kernel(schedule, progress=False):
-    """Generate, compile and wrap the Python kernel for ``schedule``."""
+def generate_kernel(schedule, progress=False, profiler=None):
+    """Generate, compile and wrap the Python kernel for ``schedule``.
+
+    When ``profiler`` is enabled (profiling level ``basic``/``advanced``),
+    every schedule step is wrapped in a named, timed section; at level
+    ``off`` the instrumentation is *compiled out* — the generated source
+    contains no timing calls at all.
+    """
     grid = schedule.grid
     dist = grid.distributor
     validate_names(schedule)
+    if profiler is None:
+        profiler = Profiler('off')
+    instrument = profiler.enabled
+    preamble_names, step_names = assign_section_names(schedule)
 
     em = _Emitter()
-    em.emit('def __kernel(time_m, time_M, __A, __P, __EX, __SP, __comm, np):')
+    em.emit('def __kernel(time_m, time_M, __A, __P, __EX, __SP, __comm, '
+            'np, __T):')
     em.level += 1
+
+    def sec_begin():
+        if instrument:
+            em.emit('__t = __T.now()')
+
+    def sec_end(name, in_loop=True):
+        if instrument:
+            em.emit("__T.add('%s', __t%s)"
+                    % (name, ', time' if in_loop else ''))
 
     # -- unpack arrays and scalars ------------------------------------------------
     functions = {f.name: f for f in schedule.functions}
@@ -195,10 +218,14 @@ def generate_kernel(schedule, progress=False):
 
     if schedule.preamble_halo:
         em.emit('# hoisted halo exchanges (time-invariant functions)')
-        for req in schedule.preamble_halo:
+        for req, sname in zip(schedule.preamble_halo, preamble_names):
             key = 'pre_%s' % req.function.name
             new_exchanger(key, req.function, req.widths)
+            profiler.register(SectionMeta(sname, 'halo',
+                                          exchanger_keys=(key,)))
+            sec_begin()
             em.emit("__EX['%s'].exchange(%s)" % (key, req.function.name))
+            sec_end(sname, in_loop=False)
         em.emit()
 
     # -- the time loop ---------------------------------------------------------------
@@ -207,10 +234,16 @@ def generate_kernel(schedule, progress=False):
     body_emitted = False
 
     for sid, step in enumerate(schedule.steps):
+        sname = step_names[sid]
         if step.is_halo:
             body_emitted = True
-            for req in step.exchanges:
-                key = 'h%d_%s' % (step.uid, req.function.name)
+            keys = ['h%d_%s' % (step.uid, req.function.name)
+                    for req in step.exchanges]
+            profiler.register(SectionMeta(
+                sname, 'halo' if step.kind != 'wait' else 'wait',
+                exchanger_keys=keys if step.kind != 'wait' else ()))
+            sec_begin()
+            for req, key in zip(step.exchanges, keys):
                 view = _view_expr(req.function, req.time_shift)
                 if step.kind == 'update':
                     if key not in exchangers:
@@ -224,15 +257,30 @@ def generate_kernel(schedule, progress=False):
                 elif step.kind == 'wait':
                     em.emit("__EX['%s'].finish(%s, __pend_%s)"
                             % (key, view, key))
+            sec_end(sname)
         elif step.is_compute:
             body_emitted = True
-            boxes = _region_boxes(step, dist)
-            for bi, box in enumerate(boxes):
-                if all(e > b for b, e in box):
+            boxes = [box for box in _region_boxes(step, dist)
+                     if all(e > b for b, e in box)]
+            npoints = sum(_box_volume(box) for box in boxes)
+            profiler.register(SectionMeta(
+                sname, 'compute', points=npoints,
+                flops_per_point=step.cluster.flops_per_point(),
+                traffic_per_point=step.cluster.traffic_per_point(
+                    grid.dtype.itemsize)))
+            if boxes:
+                sec_begin()
+                for box in boxes:
                     _emit_cluster(em, step.cluster, box)
+                sec_end(sname)
         else:
             body_emitted = True
+            profiler.register(SectionMeta(
+                sname, 'sparse',
+                sparse_npoints=len(step.op.sparse.routing.local_points)))
+            sec_begin()
             _emit_sparse(em, sid, step, dist)
+            sec_end(sname)
 
     if not body_emitted:
         em.emit('pass')
@@ -244,7 +292,11 @@ def generate_kernel(schedule, progress=False):
     code = compile(source, '<repro-jit-kernel>', 'exec')
     exec(code, namespace)  # noqa: S102 - this is the JIT compiler
     return PyKernel(source, namespace['__kernel'], exchangers, sparse_plans,
-                    schedule)
+                    schedule, profiler=profiler)
+
+
+def _box_volume(box):
+    return int(np.prod([max(e - b, 0) for b, e in box])) if box else 0
 
 
 def _view_expr(func, time_shift):

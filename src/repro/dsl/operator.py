@@ -20,46 +20,10 @@ from ..codegen.pybackend import generate_kernel
 from ..ir.schedule import build_schedule
 from ..dsl.function import Constant
 from ..dsl.sparse import PrecomputedSparseData
+from ..profiling import PerformanceSummary, Profiler
 from ..symbolics import preorder
 
 __all__ = ['Operator', 'PerformanceSummary']
-
-
-class PerformanceSummary:
-    """Measured throughput of one Operator application."""
-
-    def __init__(self, points, timesteps, elapsed, flops_per_point,
-                 traffic_per_point, nmessages=0):
-        self.points = points          # grid points updated per timestep
-        self.timesteps = timesteps
-        self.elapsed = elapsed
-        self.flops_per_point = flops_per_point
-        self.traffic_per_point = traffic_per_point
-        self.nmessages = nmessages
-
-    @property
-    def gpointss(self):
-        """Throughput in GPts/s (the paper's primary metric)."""
-        if self.elapsed <= 0:
-            return float('inf')
-        return self.points * self.timesteps / self.elapsed / 1e9
-
-    @property
-    def gflopss(self):
-        return self.gpointss * self.flops_per_point
-
-    @property
-    def oi(self):
-        """Operational intensity (flops/byte), computed at compile time
-        from the expression tree, as in the paper's Section IV-C."""
-        if self.traffic_per_point == 0:
-            return float('inf')
-        return self.flops_per_point / self.traffic_per_point
-
-    def __repr__(self):
-        return ('PerformanceSummary(%.4fs, %.3f GPts/s, %.2f GFlops/s, '
-                'OI=%.2f)' % (self.elapsed, self.gpointss, self.gflopss,
-                              self.oi))
 
 
 class Operator:
@@ -79,10 +43,14 @@ class Operator:
     progress : bool
         In 'full' mode, run the progress-prodding thread (the sacrificed
         OpenMP worker calling MPI_Test).
+    profiling : str or None
+        Instrumentation level: 'off', 'basic' or 'advanced'.  Defaults
+        to ``configuration['profiling']``.  At 'off' the generated source
+        contains no timing calls (compiled out, not branched at runtime).
     """
 
     def __init__(self, expressions, name='Kernel', opt=True, mpi=None,
-                 progress=False):
+                 progress=False, profiling=None):
         self.name = name
         self._mpi_requested = mpi if mpi is not None else \
             configuration['mpi']
@@ -91,7 +59,10 @@ class Operator:
                                        opt=opt)
         self.grid = self.schedule.grid
         self.mpi_mode = self.schedule.mpi_mode
-        self.kernel = generate_kernel(self.schedule, progress=progress)
+        self.profiler = Profiler(profiling if profiling is not None
+                                 else configuration['profiling'])
+        self.kernel = generate_kernel(self.schedule, progress=progress,
+                                      profiler=self.profiler)
         self._bind_sparse_plans()
         self._flops_per_point = self.schedule.flops_per_point()
         self._traffic_per_point = self.schedule.traffic_per_point(
@@ -122,7 +93,8 @@ class Operator:
     def ccode(self):
         """The equivalent C code (paper's Listing 11 style)."""
         from ..codegen.cgen import generate_c
-        return generate_c(self.schedule, name=self.name)
+        return generate_c(self.schedule, name=self.name,
+                          profiling=self.profiler.level)
 
     @property
     def flops_per_point(self):
@@ -176,17 +148,49 @@ class Operator:
         return time_m, int(time_M), arrays, params
 
     def apply(self, **kwargs):
-        """Run the kernel; returns a :class:`PerformanceSummary`."""
+        """Run the kernel; returns a :class:`PerformanceSummary`.
+
+        The summary maps section names (``section0..N``,
+        ``haloupdate0..N``, ``halowait0..N``, ``sparse0..N``) to
+        :class:`~repro.profiling.PerfEntry` objects; on distributed grids
+        each entry carries min/max/avg statistics across ranks.  The
+        exchanger counters are snapshotted before and after the run, so
+        repeated applies report per-invocation (not cumulative) message
+        and byte counts.
+        """
         time_m, time_M, arrays, params = self.arguments(**kwargs)
         comm = self.grid.comm
+        prof = self.profiler
+        prof.reset()
+        before = {key: ex.counters()
+                  for key, ex in self.kernel.exchangers.items()}
         tic = _time.perf_counter()
-        self.kernel(time_m, time_M, arrays, params, comm)
+        self.kernel(time_m, time_M, arrays, params, comm, prof.timer)
         elapsed = _time.perf_counter() - tic
+        deltas = {}
+        for key, ex in self.kernel.exchangers.items():
+            after = ex.counters()
+            deltas[key] = {k: after[k] - before[key][k] for k in after}
         points = int(np.prod(self.grid.shape))
-        nmsg = sum(ex.nmessages for ex in self.kernel.exchangers.values())
-        return PerformanceSummary(points, max(time_M - time_m + 1, 0),
-                                  elapsed, self._flops_per_point,
-                                  self._traffic_per_point, nmessages=nmsg)
+        timesteps = max(time_M - time_m + 1, 0)
+        nmsg = sum(d['nmessages'] for d in deltas.values())
+
+        sections = {}
+        nranks = 1
+        traces = ()
+        if prof.enabled:
+            # distributed runs aggregate per-rank stats (a collective —
+            # every rank calls apply SPMD-style, as with any exchange)
+            agg_comm = comm if self.grid.distributor.is_parallel else None
+            sections = prof.summarize(deltas, agg_comm, timesteps)
+            nranks = comm.size if agg_comm is not None else 1
+            if prof.advanced:
+                traces = tuple(prof.timer.traces)
+        return PerformanceSummary(points, timesteps, elapsed,
+                                  self._flops_per_point,
+                                  self._traffic_per_point, nmessages=nmsg,
+                                  sections=sections, nranks=nranks,
+                                  level=prof.level, traces=traces)
 
     # -- helpers ----------------------------------------------------------------------
 

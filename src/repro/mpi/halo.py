@@ -25,6 +25,7 @@ Section III-h (Table I, Figure 5):
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 
 import numpy as np
 
@@ -91,8 +92,33 @@ class _ExchangerBase:
                 raise ValueError("required halo widths %s exceed allocated "
                                  "halo %s" % (self.widths, self.halo))
         self.local_shape = distributor.shape_local
-        #: number of messages issued per exchange (for instrumentation)
+        #: monotonic instrumentation counters.  These *accumulate* across
+        #: calls; consumers interested in per-``apply`` figures must
+        #: snapshot :meth:`counters` before the run and subtract
+        #: (``Operator.apply`` does exactly that, so repeated applies
+        #: never double-count messages in their summaries).
         self.nmessages = 0
+        self.nbytes_sent = 0
+        self.nbytes_recv = 0
+        self.wait_time = 0.0
+        self.ncalls = 0
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def counters(self):
+        """Snapshot of the monotonic instrumentation counters."""
+        return {'nmessages': self.nmessages,
+                'nbytes_sent': self.nbytes_sent,
+                'nbytes_recv': self.nbytes_recv,
+                'wait_time': self.wait_time,
+                'ncalls': self.ncalls}
+
+    def reset_counters(self):
+        self.nmessages = 0
+        self.nbytes_sent = 0
+        self.nbytes_recv = 0
+        self.wait_time = 0.0
+        self.ncalls = 0
 
     # -- region algebra ----------------------------------------------------------
 
@@ -166,7 +192,7 @@ class BasicExchanger(_ExchangerBase):
         """Update all halo regions of ``view`` (array incl. halo)."""
         comm = self.distributor.comm
         done_dims = []
-        self.nmessages = 0
+        self.ncalls += 1
         for d in self._active_dims():
             for sign in (1, -1):
                 offsets = tuple(sign if i == d else 0
@@ -181,14 +207,18 @@ class BasicExchanger(_ExchangerBase):
                     sendbuf = np.ascontiguousarray(
                         view[self._send_region(offsets, ext)])
                     self.nmessages += 1
+                    self.nbytes_sent += sendbuf.nbytes
                 tag = self._tag(offsets)
                 if dest != PROC_NULL and src != PROC_NULL:
                     recv_region = self._recv_region(
                         tuple(-o for o in offsets), ext)
                     recvbuf = np.empty(view[recv_region].shape,
                                        dtype=view.dtype)
+                    tic = perf_counter()
                     comm.sendrecv(sendbuf, dest, sendtag=tag,
                                   source=src, recvtag=tag, recvbuf=recvbuf)
+                    self.wait_time += perf_counter() - tic
+                    self.nbytes_recv += recvbuf.nbytes
                     view[recv_region] = recvbuf
                 elif dest != PROC_NULL:
                     comm.send(sendbuf, dest, tag=tag)
@@ -197,7 +227,10 @@ class BasicExchanger(_ExchangerBase):
                         tuple(-o for o in offsets), ext)
                     recvbuf = np.empty(view[recv_region].shape,
                                        dtype=view.dtype)
+                    tic = perf_counter()
                     comm.recv(buf=recvbuf, source=src, tag=tag)
+                    self.wait_time += perf_counter() - tic
+                    self.nbytes_recv += recvbuf.nbytes
                     view[recv_region] = recvbuf
             done_dims.append(d)
 
@@ -241,13 +274,14 @@ class DiagonalExchanger(_ExchangerBase):
         """Post all sends/receives; return the pending receive list."""
         comm = self.distributor.comm
         pending = []
-        self.nmessages = 0
+        self.ncalls += 1
         for offsets, rank in self._neighbors.items():
             sb, rb, send_region, recv_region = self._buffers(view, offsets)
             # pack (OpenMP-threaded in the paper; vectorized copy here)
             sb[...] = view[send_region]
             comm.isend(sb, rank, tag=self._tag(offsets))
             self.nmessages += 1
+            self.nbytes_sent += sb.nbytes
             # matching receive: neighbor sent with the direction as seen
             # from *their* side, i.e. the negated offsets
             req = comm.irecv(buf=rb,
@@ -259,7 +293,10 @@ class DiagonalExchanger(_ExchangerBase):
     def finish(self, view, pending):
         """Wait for all receives and unpack into the halo."""
         for req, rb, recv_region in pending:
+            tic = perf_counter()
             req.wait()
+            self.wait_time += perf_counter() - tic
+            self.nbytes_recv += rb.nbytes
             view[recv_region] = rb
 
     def exchange(self, view):

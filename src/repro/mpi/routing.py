@@ -139,6 +139,18 @@ class PointRouting:
                 tuple(np.asarray(col, dtype=np.int64) for col in index_cols),
                 np.asarray(weights, dtype=np.float64))
 
+    def stats(self):
+        """Routing instrumentation for the profiling subsystem.
+
+        ``ncontribs`` is the number of (point, grid-cell) contribution
+        pairs this rank evaluates per sparse operation — the work metric
+        that load-imbalance in sparse sections is measured against.
+        """
+        return {'npoints': len(self.coordinates),
+                'nlocal': len(self.local_points),
+                'nowned': len(self.owned_points),
+                'ncontribs': sum(len(p) for p in self.plans.values())}
+
     def __repr__(self):
         return ('PointRouting(%d points, %d local, %d owned, rank=%d)'
                 % (len(self.coordinates), len(self.local_points),

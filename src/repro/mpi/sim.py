@@ -70,6 +70,10 @@ class SimWorld:
         self._boxes = [[] for _ in range(size)]
         self._conds = [threading.Condition() for _ in range(size)]
         self._failed = threading.Event()
+        #: transport-level instrumentation: messages/bytes delivered per
+        #: destination rank (monotonic; profiling reads, never resets)
+        self.ndelivered = [0] * size
+        self.nbytes_delivered = [0] * size
 
     # -- transport ---------------------------------------------------------
 
@@ -79,6 +83,9 @@ class SimWorld:
         cond = self._conds[dest]
         with cond:
             self._boxes[dest].append(message)
+            self.ndelivered[dest] += 1
+            if isinstance(message.payload, np.ndarray):
+                self.nbytes_delivered[dest] += message.payload.nbytes
             cond.notify_all()
 
     def _find(self, dest, comm_id, source, tag):
@@ -213,6 +220,12 @@ class SimComm:
 
     def Get_size(self):
         return self.size
+
+    @staticmethod
+    def Wtime():
+        """MPI-style wall clock (used by the profiling subsystem)."""
+        import time
+        return time.perf_counter()
 
     def Dup(self):
         """A new communicator with an isolated message space.

@@ -1,0 +1,162 @@
+"""The global, validating ``configuration`` object.
+
+Mirrors Devito's ``DEVITO_*`` switchboard: a mapping with a fixed set of
+registered keys, value validation (unknown keys and invalid values raise
+``ValueError`` listing the accepted options), and environment-variable
+seeding (``REPRO_MPI``, ``REPRO_PROFILING``, ``REPRO_OPT``).  Item
+assignment keeps working exactly as with the original plain dict::
+
+    configuration['mpi'] = 'diagonal'
+    configuration['profiling'] = 'advanced'
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import MutableMapping
+
+__all__ = ['Configuration', 'Parameter', 'configuration']
+
+_TRUE = {'1', 'true', 'yes', 'on'}
+_FALSE = {'0', 'false', 'no', 'off'}
+
+
+def _as_bool(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        low = value.strip().lower()
+        if low in _TRUE:
+            return True
+        if low in _FALSE:
+            return False
+    raise ValueError("expected a boolean-like value, got %r" % (value,))
+
+
+class Parameter:
+    """Spec of one configuration key."""
+
+    def __init__(self, name, default, accepted=None, env=None,
+                 converter=None, description=''):
+        self.name = name
+        self.default = default
+        self.accepted = tuple(accepted) if accepted is not None else None
+        self.env = env
+        self.converter = converter
+        self.description = description
+
+    def validate(self, value):
+        if self.converter is not None:
+            try:
+                value = self.converter(value)
+            except ValueError as err:
+                raise ValueError(
+                    "invalid value %r for configuration[%r]: %s"
+                    % (value, self.name, err)) from None
+        if self.accepted is not None and value not in self.accepted:
+            raise ValueError(
+                "invalid value %r for configuration[%r]; accepted values: "
+                "%s" % (value, self.name,
+                        ', '.join(repr(a) for a in self.accepted)))
+        return value
+
+
+class Configuration(MutableMapping):
+    """A validating mapping of global switches.
+
+    Parameters
+    ----------
+    environ : mapping, optional
+        Environment to seed from (defaults to ``os.environ``); passing a
+        custom dict makes the seeding testable.
+    """
+
+    def __init__(self, environ=None):
+        self._registry = {}
+        self._values = {}
+        environ = os.environ if environ is None else environ
+
+        from .profiling import PROFILING_LEVELS
+        self.register(Parameter(
+            'mpi', default='basic', env='REPRO_MPI',
+            accepted=('basic', 'diag', 'diagonal', 'diag2', 'full', False),
+            converter=self._convert_mpi,
+            description='default DMP pattern for distributed grids'))
+        self.register(Parameter(
+            'opt', default=True, env='REPRO_OPT', converter=_as_bool,
+            description='flop-reducing pipeline (CSE/factorization/'
+                        'hoisting)'))
+        self.register(Parameter(
+            'profiling', default='basic', env='REPRO_PROFILING',
+            accepted=PROFILING_LEVELS,
+            description='instrumentation level of generated kernels'))
+
+        for key, spec in self._registry.items():
+            value = spec.default
+            if spec.env is not None and spec.env in environ:
+                value = environ[spec.env]
+            self[key] = value
+
+    @staticmethod
+    def _convert_mpi(value):
+        # DEVITO_MPI-style: 0/false disables, 1/true means 'basic'
+        if isinstance(value, str) and value.strip().lower() in (_TRUE
+                                                                | _FALSE):
+            value = _as_bool(value)
+        if value is True:
+            return 'basic'
+        if value is False or value is None:
+            return False
+        return value
+
+    # -- registry ---------------------------------------------------------------
+
+    def register(self, parameter):
+        self._registry[parameter.name] = parameter
+
+    def accepted(self, key):
+        """Accepted values of ``key`` (None = any after conversion)."""
+        return self._registry[key].accepted
+
+    def _unknown(self, key):
+        return ValueError(
+            "unknown configuration key %r; accepted keys: %s"
+            % (key, ', '.join(sorted(self._registry))))
+
+    # -- mutable mapping protocol -------------------------------------------------
+
+    def __setitem__(self, key, value):
+        spec = self._registry.get(key)
+        if spec is None:
+            raise self._unknown(key)
+        self._values[key] = spec.validate(value)
+
+    def __getitem__(self, key):
+        try:
+            return self._values[key]
+        except KeyError:
+            raise self._unknown(key) from None
+
+    def __delitem__(self, key):
+        """Reset ``key`` to its registered default."""
+        spec = self._registry.get(key)
+        if spec is None:
+            raise self._unknown(key)
+        self._values[key] = spec.validate(spec.default)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self):
+        return len(self._values)
+
+    def __repr__(self):
+        body = ', '.join('%r: %r' % (k, v)
+                         for k, v in sorted(self._values.items()))
+        return 'Configuration({%s})' % body
+
+
+#: the singleton; importable as ``from repro import configuration``
+configuration = Configuration()

@@ -8,8 +8,9 @@ from .roofline import (ARCHER2_ROOF, TURSA_ROOF, RooflinePlatform,
                        attainable, measured_roofline_points,
                        roofline_points)
 from .report import (all_cpu_tables, all_gpu_tables, cpu_strong_rows,
-                     format_table, gpu_strong_rows, shape_metrics,
-                     weak_rows)
+                     format_profile_table, format_table, gpu_strong_rows,
+                     load_profile_json, profile_compute_fraction,
+                     shape_metrics, weak_rows)
 from . import paper_data
 
 __all__ = ['ARCHER2', 'TURSA', 'Machine', 'BASE_CPU', 'BASE_GPU',
@@ -18,4 +19,6 @@ __all__ = ['ARCHER2', 'TURSA', 'Machine', 'BASE_CPU', 'BASE_GPU',
            'TURSA_ROOF', 'RooflinePlatform', 'attainable',
            'measured_roofline_points', 'roofline_points', 'all_cpu_tables',
            'all_gpu_tables', 'cpu_strong_rows', 'format_table',
-           'gpu_strong_rows', 'shape_metrics', 'weak_rows', 'paper_data']
+           'gpu_strong_rows', 'shape_metrics', 'weak_rows', 'paper_data',
+           'load_profile_json', 'format_profile_table',
+           'profile_compute_fraction']

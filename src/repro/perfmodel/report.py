@@ -8,6 +8,8 @@ calls these; ``EXPERIMENTS.md`` is generated from them.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 from . import paper_data as pd
@@ -15,7 +17,8 @@ from .scaling import strong_scaling_table, weak_scaling_table
 
 __all__ = ['cpu_strong_rows', 'gpu_strong_rows', 'weak_rows',
            'format_table', 'shape_metrics', 'all_cpu_tables',
-           'all_gpu_tables']
+           'all_gpu_tables', 'load_profile_json', 'format_profile_table',
+           'profile_compute_fraction']
 
 _MODE_LABEL = {'basic': 'Basic', 'diag': 'Diag', 'full': 'Full'}
 
@@ -110,6 +113,68 @@ def shape_metrics():
         'winner_agreement': wok / wtot if wtot else 1.0,
         'winner_cells': wtot,
     }
+
+
+# -- live-run profiles (the JSON artifact of `--profile advanced`) -------------
+
+_PROFILE_KEYS = ('points', 'timesteps', 'elapsed', 'sections')
+
+
+def load_profile_json(path):
+    """Load a profiling artifact written by ``PerformanceSummary.save_json``.
+
+    Returns the profile dict; raises ``ValueError`` if the file does not
+    look like a repro profile (missing required keys).
+    """
+    with open(path) as f:
+        profile = json.load(f)
+    missing = [k for k in _PROFILE_KEYS if k not in profile]
+    if missing:
+        raise ValueError("%s is not a repro profile (missing keys: %s)"
+                         % (path, ', '.join(missing)))
+    return profile
+
+
+def format_profile_table(profile):
+    """Render a loaded profile as a markdown per-section table.
+
+    Section rows expose the compute/communication split that the paper's
+    Figures 7-12 are built from: compare the summed ``section*`` time
+    against the ``haloupdate*``/``halowait*`` time to place a run on the
+    roofline (EXPERIMENTS.md shows the mapping).
+    """
+    out = ['### live profile — %d ranks, %d timesteps, %.4f s'
+           % (profile.get('nranks', 1), profile['timesteps'],
+              profile['elapsed'])]
+    out.append('| section | time[s] | min[s] | max[s] | avg[s] | GPts/s '
+               '| msgs | bytes |')
+    out.append('|---|---|---|---|---|---|---|---|')
+    for name, e in profile['sections'].items():
+        ranks = e.get('ranks', {}).get('time', {})
+        out.append('| %s | %.4f | %.4f | %.4f | %.4f | %.3f | %d | %d |'
+                   % (name, e['time'],
+                      ranks.get('min', e['time']),
+                      ranks.get('max', e['time']),
+                      ranks.get('avg', e['time']),
+                      e.get('gpointss', 0.0), e.get('nmessages', 0),
+                      e.get('bytes', 0)))
+    return '\n'.join(out)
+
+
+def profile_compute_fraction(profile):
+    """Fraction of sectioned time spent in compute (vs halo/sparse).
+
+    This is the live-run counterpart of the model's compute/communication
+    decomposition; 1.0 means no measured communication time.
+    """
+    compute = comm = 0.0
+    for name, e in profile['sections'].items():
+        if name.startswith('section'):
+            compute += e['time']
+        elif name.startswith(('haloupdate', 'halowait')):
+            comm += e['time']
+    total = compute + comm
+    return compute / total if total else 1.0
 
 
 def all_cpu_tables():

@@ -1,0 +1,183 @@
+"""The Profiler: section registry + per-rank aggregation.
+
+One :class:`Profiler` is owned by each :class:`~repro.dsl.operator.Operator`
+(hence by each rank in an SPMD run — operators are built per rank).  The
+code generator registers a :class:`SectionMeta` for every named section it
+emits; ``apply`` then asks :meth:`Profiler.summarize` to combine
+
+* the rank-local :class:`~repro.profiling.timer.Timer` measurements,
+* the per-apply exchanger counter deltas (messages, bytes, wait time),
+* and — on distributed grids — the same numbers from every other rank,
+  allgathered over the simulated-MPI communicator,
+
+into a mapping of section name -> :class:`~repro.profiling.summary.PerfEntry`
+with cross-rank min/max/avg statistics (the load-imbalance signal of the
+paper's Figures 7-12).
+"""
+
+from __future__ import annotations
+
+from .timer import Timer
+
+__all__ = ['Profiler', 'RankStats', 'SectionMeta']
+
+
+class RankStats:
+    """Min/max/avg of one metric across the ranks of a run."""
+
+    __slots__ = ('values',)
+
+    def __init__(self, values):
+        self.values = tuple(values)
+
+    @property
+    def min(self):
+        return min(self.values)
+
+    @property
+    def max(self):
+        return max(self.values)
+
+    @property
+    def avg(self):
+        return sum(self.values) / len(self.values)
+
+    @property
+    def imbalance(self):
+        """max/avg - 1 (0 = perfectly balanced)."""
+        avg = self.avg
+        return self.max / avg - 1.0 if avg else 0.0
+
+    def __len__(self):
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def to_dict(self):
+        return {'min': self.min, 'max': self.max, 'avg': self.avg,
+                'ranks': list(self.values)}
+
+    def __repr__(self):
+        return ('RankStats(min=%.6g, max=%.6g, avg=%.6g, nranks=%d)'
+                % (self.min, self.max, self.avg, len(self.values)))
+
+
+class SectionMeta:
+    """Compile-time knowledge about one named section."""
+
+    __slots__ = ('name', 'kind', 'points', 'flops_per_point',
+                 'traffic_per_point', 'exchanger_keys', 'sparse_npoints')
+
+    def __init__(self, name, kind, points=0, flops_per_point=0,
+                 traffic_per_point=0, exchanger_keys=(), sparse_npoints=0):
+        self.name = name
+        self.kind = kind  # 'compute' | 'halo' | 'wait' | 'sparse'
+        self.points = int(points)
+        self.flops_per_point = flops_per_point
+        self.traffic_per_point = traffic_per_point
+        self.exchanger_keys = tuple(exchanger_keys)
+        self.sparse_npoints = int(sparse_npoints)
+
+    def __repr__(self):
+        return 'SectionMeta(%s, %s)' % (self.name, self.kind)
+
+
+class Profiler:
+    """Owns the Timer and the section registry of one Operator."""
+
+    def __init__(self, level='basic'):
+        from . import PROFILING_LEVELS
+        if level not in PROFILING_LEVELS:
+            raise ValueError("unknown profiling level %r (accepted: %s)"
+                             % (level, ', '.join(PROFILING_LEVELS)))
+        self.level = level
+        self.timer = Timer(advanced=(level == 'advanced')) \
+            if level != 'off' else None
+        #: SectionMeta in emission order, keyed by name
+        self.sections = {}
+
+    @property
+    def enabled(self):
+        return self.level != 'off'
+
+    @property
+    def advanced(self):
+        return self.level == 'advanced'
+
+    def register(self, meta):
+        """Record one section (called by the code generator)."""
+        self.sections[meta.name] = meta
+        return meta.name
+
+    def reset(self):
+        if self.timer is not None:
+            self.timer.reset()
+
+    # -- aggregation ------------------------------------------------------------
+
+    def local_stats(self, exchanger_deltas):
+        """Per-section rank-local measurements of the last apply."""
+        out = {}
+        timer = self.timer
+        for name, meta in self.sections.items():
+            time = timer.total(name) if timer is not None else 0.0
+            ncalls = timer.ncalls(name) if timer is not None else 0
+            nmsg = nbytes = 0
+            wait = 0.0
+            for key in meta.exchanger_keys:
+                delta = exchanger_deltas.get(key)
+                if delta is None:
+                    continue
+                nmsg += delta['nmessages']
+                nbytes += delta['nbytes_sent'] + delta['nbytes_recv']
+                wait += delta['wait_time']
+            out[name] = {'time': time, 'ncalls': ncalls,
+                         'nmessages': nmsg, 'bytes': nbytes,
+                         'wait_time': wait}
+        return out
+
+    def summarize(self, exchanger_deltas, comm, timesteps):
+        """Build the {section: PerfEntry} mapping for one apply.
+
+        ``comm`` is the grid communicator when the run is distributed
+        (all ranks must call — the aggregation is a collective) or None
+        for serial runs.
+        """
+        from .summary import PerfEntry
+
+        local = self.local_stats(exchanger_deltas)
+        if comm is not None and comm.size > 1:
+            perrank = comm.allgather(local)
+        else:
+            perrank = [local]
+
+        entries = {}
+        for name, meta in self.sections.items():
+            rows = [stats[name] for stats in perrank]
+            ranks = {
+                'time': RankStats([r['time'] for r in rows]),
+                'nmessages': RankStats([r['nmessages'] for r in rows]),
+                'bytes': RankStats([r['bytes'] for r in rows]),
+                'wait_time': RankStats([r['wait_time'] for r in rows]),
+            }
+            time = local[name]['time']
+            gpointss = gflopss = 0.0
+            oi = 0.0
+            if meta.kind == 'compute':
+                if meta.traffic_per_point:
+                    oi = meta.flops_per_point / meta.traffic_per_point
+                if time > 0:
+                    gpointss = meta.points * timesteps / time / 1e9
+                    gflopss = gpointss * meta.flops_per_point
+            entries[name] = PerfEntry(
+                name=name, time=time, gpointss=gpointss, gflopss=gflopss,
+                oi=oi, nmessages=local[name]['nmessages'],
+                bytes=local[name]['bytes'], kind=meta.kind,
+                ncalls=local[name]['ncalls'],
+                wait_time=local[name]['wait_time'], ranks=ranks)
+        return entries
+
+    def __repr__(self):
+        return ('Profiler(%s, %d sections)'
+                % (self.level, len(self.sections)))

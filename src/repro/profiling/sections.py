@@ -1,0 +1,53 @@
+"""Deterministic section naming shared by all code-generation backends.
+
+Both the executable NumPy backend (:mod:`repro.codegen.pybackend`) and
+the C printer (:mod:`repro.codegen.cgen`) must agree on section names so
+that a :class:`~repro.profiling.summary.PerformanceSummary` can be read
+against either source.  Names follow the Devito convention:
+
+* ``haloupdate0..N`` — halo-exchange steps (blocking updates and the
+  ``begin`` halves of overlapped exchanges); hoisted preamble exchanges
+  of time-invariant functions are numbered first;
+* ``halowait0..N``   — the matching ``wait`` halves (full mode), sharing
+  the ordinal of their ``begin``;
+* ``section0..N``    — cluster computations (core and remainder regions
+  of the full mode are distinct sections);
+* ``sparse0..N``     — sparse-point injection/interpolation steps.
+"""
+
+from __future__ import annotations
+
+__all__ = ['assign_section_names']
+
+
+def assign_section_names(schedule):
+    """Name every instrumentable point of ``schedule``.
+
+    Returns ``(preamble_names, step_names)``: one name per hoisted
+    preamble halo requirement, and one name per schedule step (aligned
+    with ``schedule.steps``).
+    """
+    nsec = nhalo = nsparse = 0
+    preamble_names = []
+    for _ in schedule.preamble_halo:
+        preamble_names.append('haloupdate%d' % nhalo)
+        nhalo += 1
+
+    step_names = []
+    wait_names = {}
+    for step in schedule.steps:
+        if step.is_halo:
+            if step.kind in ('update', 'begin'):
+                name = 'haloupdate%d' % nhalo
+                wait_names[step.uid] = 'halowait%d' % nhalo
+                nhalo += 1
+            else:  # 'wait'
+                name = wait_names.get(step.uid, 'halowait%d' % nhalo)
+        elif step.is_compute:
+            name = 'section%d' % nsec
+            nsec += 1
+        else:
+            name = 'sparse%d' % nsparse
+            nsparse += 1
+        step_names.append(name)
+    return preamble_names, step_names

@@ -1,0 +1,184 @@
+"""The structured result of ``Operator.apply``.
+
+:class:`PerformanceSummary` is a mapping of section name ->
+:class:`PerfEntry` with top-level aggregate views (``.gpointss``,
+``.gflopss``, ``.oi``, ``.elapsed``, ``.nmessages``, ``.points``,
+``.timesteps``) kept backward-compatible with the original flat metrics
+bag, so pre-existing callers are unaffected.  ``repr`` prints a
+per-section table including cross-rank min/max/avg for distributed runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+__all__ = ['PerfEntry', 'PerformanceSummary']
+
+
+class PerfEntry:
+    """Measurements of one named code section (one rank's view, plus
+    cross-rank statistics when the run was distributed)."""
+
+    __slots__ = ('name', 'time', 'gpointss', 'gflopss', 'oi', 'nmessages',
+                 'bytes', 'kind', 'ncalls', 'wait_time', 'ranks')
+
+    def __init__(self, name, time, gpointss=0.0, gflopss=0.0, oi=0.0,
+                 nmessages=0, bytes=0, kind='compute', ncalls=0,
+                 wait_time=0.0, ranks=None):
+        self.name = name
+        self.time = time
+        self.gpointss = gpointss
+        self.gflopss = gflopss
+        self.oi = oi
+        self.nmessages = nmessages
+        self.bytes = bytes
+        self.kind = kind
+        self.ncalls = ncalls
+        self.wait_time = wait_time
+        #: {'time'|'nmessages'|'bytes'|'wait_time': RankStats}
+        self.ranks = ranks or {}
+
+    # convenience cross-rank views (fall back to the local value)
+    def _stat(self, metric, which):
+        stats = self.ranks.get(metric)
+        if stats is None:
+            return getattr(self, 'time' if metric == 'time' else metric)
+        return getattr(stats, which)
+
+    @property
+    def time_min(self):
+        return self._stat('time', 'min')
+
+    @property
+    def time_max(self):
+        return self._stat('time', 'max')
+
+    @property
+    def time_avg(self):
+        return self._stat('time', 'avg')
+
+    def to_dict(self):
+        out = {'name': self.name, 'kind': self.kind, 'time': self.time,
+               'gpointss': self.gpointss, 'gflopss': self.gflopss,
+               'oi': self.oi, 'nmessages': self.nmessages,
+               'bytes': self.bytes, 'ncalls': self.ncalls,
+               'wait_time': self.wait_time}
+        out['ranks'] = {k: v.to_dict() for k, v in self.ranks.items()}
+        return out
+
+    def __repr__(self):
+        return ('PerfEntry(%s, %.4fs, %.3f GPts/s, %.2f GFlops/s, '
+                'OI=%.2f, msgs=%d, bytes=%d)'
+                % (self.name, self.time, self.gpointss, self.gflopss,
+                   self.oi, self.nmessages, self.bytes))
+
+
+class PerformanceSummary(Mapping):
+    """Measured performance of one Operator application.
+
+    A mapping ``{section_name: PerfEntry}`` (empty when profiling is
+    ``off``), plus run-level aggregates as attributes.
+    """
+
+    def __init__(self, points, timesteps, elapsed, flops_per_point,
+                 traffic_per_point, nmessages=0, sections=None, nranks=1,
+                 level='off', traces=None):
+        self.points = points          # grid points updated per timestep
+        self.timesteps = timesteps
+        self.elapsed = elapsed
+        self.flops_per_point = flops_per_point
+        self.traffic_per_point = traffic_per_point
+        self.nmessages = nmessages
+        self.nranks = int(nranks)
+        self.level = level
+        self._sections = dict(sections or {})
+        #: per-timestep (timestep, section, seconds) records ('advanced')
+        self.traces = list(traces or [])
+
+    # -- mapping protocol (keyed by section name) -------------------------------
+
+    def __getitem__(self, name):
+        return self._sections[name]
+
+    def __iter__(self):
+        return iter(self._sections)
+
+    def __len__(self):
+        return len(self._sections)
+
+    @property
+    def sections(self):
+        return self._sections
+
+    # -- aggregate views (backward-compatible surface) --------------------------
+
+    @property
+    def gpointss(self):
+        """Throughput in GPts/s (the paper's primary metric)."""
+        if self.elapsed <= 0:
+            return float('inf')
+        return self.points * self.timesteps / self.elapsed / 1e9
+
+    @property
+    def gflopss(self):
+        return self.gpointss * self.flops_per_point
+
+    @property
+    def oi(self):
+        """Operational intensity (flops/byte), computed at compile time
+        from the expression tree, as in the paper's Section IV-C."""
+        if self.traffic_per_point == 0:
+            return float('inf')
+        return self.flops_per_point / self.traffic_per_point
+
+    # -- serialization (consumed by perfmodel.report) ----------------------------
+
+    def to_dict(self):
+        return {
+            'points': int(self.points),
+            'timesteps': int(self.timesteps),
+            'elapsed': self.elapsed,
+            'flops_per_point': self.flops_per_point,
+            'traffic_per_point': self.traffic_per_point,
+            'nmessages': int(self.nmessages),
+            'nranks': self.nranks,
+            'level': self.level,
+            'gpointss': self.gpointss,
+            'gflopss': self.gflopss,
+            'oi': self.oi,
+            'sections': {name: e.to_dict()
+                         for name, e in self._sections.items()},
+            'traces': [list(t) for t in self.traces],
+        }
+
+    def save_json(self, path):
+        """Write the advanced-mode JSON artifact."""
+        with open(path, 'w') as f:
+            json.dump(self.to_dict(), f, indent=2)
+        return path
+
+    # -- rendering ----------------------------------------------------------------
+
+    def table(self):
+        """The per-section table as a list of text lines."""
+        header = ('%-14s %9s %9s %9s %9s %9s %7s %11s'
+                  % ('section', 'time[s]', 'min[s]', 'max[s]', 'avg[s]',
+                     'GPts/s', 'msgs', 'bytes'))
+        lines = [header, '-' * len(header)]
+        for name, e in self._sections.items():
+            lines.append('%-14s %9.4f %9.4f %9.4f %9.4f %9.3f %7d %11d'
+                         % (name, e.time, e.time_min, e.time_max,
+                            e.time_avg, e.gpointss, e.nmessages, e.bytes))
+        return lines
+
+    def __repr__(self):
+        head = ('PerformanceSummary(%.4fs, %.3f GPts/s, %.2f GFlops/s, '
+                'OI=%.2f' % (self.elapsed, self.gpointss, self.gflopss,
+                             self.oi))
+        if self.nranks > 1:
+            head += ', ranks=%d' % self.nranks
+        head += ')'
+        if not self._sections:
+            return head
+        return '\n'.join([head] + ['  ' + ln for ln in self.table()])

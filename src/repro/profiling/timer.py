@@ -1,0 +1,68 @@
+"""The runtime timer threaded through generated kernels.
+
+Generated code references the timer as ``__T`` and brackets each named
+section with::
+
+    __t = __T.now()
+    ... section body ...
+    __T.add('section0', __t, time)
+
+``add`` accumulates (total seconds, call count) per section; in
+*advanced* mode it additionally appends a ``(timestep, section, dt)``
+trace record.  Each rank owns a private :class:`Timer` (operators are
+constructed SPMD-style, one per rank thread), so no locking is needed.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ['Timer']
+
+
+class Timer:
+    """Accumulates per-section wall-clock time for one rank."""
+
+    __slots__ = ('sections', 'traces', 'advanced')
+
+    def __init__(self, advanced=False):
+        #: section name -> [total_seconds, ncalls]
+        self.sections = {}
+        #: (timestep, section, seconds) tuples (advanced level only)
+        self.traces = []
+        self.advanced = bool(advanced)
+
+    # the generated code calls these two -- keep them lean
+    now = staticmethod(perf_counter)
+
+    def add(self, name, t0, timestep=-1):
+        """Charge ``now() - t0`` seconds to section ``name``."""
+        dt = perf_counter() - t0
+        acc = self.sections.get(name)
+        if acc is None:
+            acc = self.sections[name] = [0.0, 0]
+        acc[0] += dt
+        acc[1] += 1
+        if self.advanced:
+            self.traces.append((timestep, name, dt))
+        return dt
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def reset(self):
+        """Clear all measurements (called at the start of each apply)."""
+        self.sections.clear()
+        del self.traces[:]
+
+    def total(self, name):
+        acc = self.sections.get(name)
+        return acc[0] if acc else 0.0
+
+    def ncalls(self, name):
+        acc = self.sections.get(name)
+        return acc[1] if acc else 0
+
+    def __repr__(self):
+        body = ', '.join('%s=%.4fs/%d' % (k, v[0], v[1])
+                         for k, v in sorted(self.sections.items()))
+        return 'Timer(%s)' % body
