@@ -66,6 +66,12 @@ def _parser():
                    help='disable CSE/factorization/hoisting')
     p.add_argument('--verify', action='store_true',
                    help='with --ranks > 1: check against the serial run')
+    p.add_argument('--inject-faults', default=None, metavar='SPEC',
+                   help='deterministic transport fault injection, e.g. '
+                        '"seed=1,drop=0.05,duplicate=0.01,kill=1@10" '
+                        '(see repro.mpi.faults.FaultPlan.parse); '
+                        'non-lethal plans must leave results bit-'
+                        'identical (combine with --verify)')
     p.add_argument('--profile', nargs='?', const='basic',
                    choices=['basic', 'advanced'], default=None,
                    help='print the per-section performance table '
@@ -81,7 +87,7 @@ def _parser():
 
 def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                   ranks=1, topology=None, opt=True, verify=False,
-                  out=None, profile=None, profile_out=None):
+                  out=None, profile=None, profile_out=None, faults=None):
     """Run one benchmark; returns (summary, gathered primary field)."""
     # resolve stdout at call time (pytest capture swaps sys.stdout)
     out = out if out is not None else sys.stdout
@@ -89,6 +95,12 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
     if profile is not None:
         saved_level = configuration['profiling']
         configuration['profiling'] = profile
+    saved_faults = configuration['faults']
+    if faults is not None:
+        configuration['faults'] = faults
+        plan = configuration['faults']
+        if plan:
+            print('fault injection : %s' % plan.describe(), file=out)
     setup = _setups()[kernel]
     spacing = (10.0,) * len(shape)
 
@@ -118,6 +130,10 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
         _report(kernel, shape, space_order, mpi, ranks, summary, op, out,
                 profile=profile, profile_out=profile_out)
         if verify:
+            # the serial reference runs fault-free: with a (non-lethal)
+            # plan injected above, IDENTICAL proves the faults were
+            # fully masked by the retry/dedup/ordering machinery
+            configuration['faults'] = False
             serial_summary, serial_field, _ = single()
             ok = np.array_equal(field, serial_field)
             print('verification vs serial run: %s'
@@ -126,6 +142,7 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                 raise SystemExit(1)
         return summary, field
     finally:
+        configuration['faults'] = saved_faults
         if profile is not None:
             configuration['profiling'] = saved_level
 
@@ -141,6 +158,15 @@ def _report(kernel, shape, so, mpi, ranks, summary, op, out,
     print('flops/point      : %d' % op.flops_per_point, file=out)
     print('operational int. : %.2f F/B (compile-time, from the AST)'
           % op.oi, file=out)
+    health = getattr(summary, 'comm_health', {})
+    if health.get('drops_injected') or health.get('duplicates_injected') \
+            or health.get('redelivered') or health.get('retries'):
+        print('comm health      : drops=%d redelivered=%d retries=%d '
+              'duplicates=%d unmatched=%d'
+              % (health.get('drops_injected', 0),
+                 health.get('redelivered', 0), health.get('retries', 0),
+                 health.get('duplicates_injected', 0),
+                 health.get('unmatched', 0)), file=out)
     if profile is not None and len(summary):
         print(file=out)
         print('per-section performance (rank 0 view; min/max/avg across '
@@ -162,7 +188,8 @@ def main(argv=None):
                   nbl=args.nbl, mpi=args.mpi, ranks=args.ranks,
                   topology=args.topology, opt=not args.no_opt,
                   verify=args.verify, profile=args.profile,
-                  profile_out=args.profile_out)
+                  profile_out=args.profile_out,
+                  faults=args.inject_faults)
 
 
 if __name__ == '__main__':

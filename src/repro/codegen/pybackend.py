@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..mpi import core_region, make_exchanger, remainder_regions
+from ..mpi import (check_tag_spaces, core_region, make_exchanger,
+                   remainder_regions)
 from ..profiling import Profiler, SectionMeta, assign_section_names
 from ..symbolics import PyPrinter
 from .common import (RESERVED_NAMES, cluster_union_widths, function_nb,
@@ -209,7 +210,7 @@ def generate_kernel(schedule, progress=False, profiler=None):
     def new_exchanger(key, func, widths):
         mode = schedule.mpi_mode or 'basic'
         ex = make_exchanger(mode, dist, func.halo, widths,
-                            tag_base=tag_base[0],
+                            tag_base=tag_base[0], name=key,
                             **({'progress': progress}
                                if mode == 'full' else {}))
         tag_base[0] += 64
@@ -231,6 +232,9 @@ def generate_kernel(schedule, progress=False, profiler=None):
     # -- the time loop ---------------------------------------------------------------
     em.emit('for time in range(time_m, time_M + 1):')
     em.level += 1
+    # fault-injection hook: lets a deterministic FaultPlan kill this
+    # rank at a chosen timestep (a no-op attribute check otherwise)
+    em.emit('__comm is None or __comm.fault_tick(time)')
     body_emitted = False
 
     for sid, step in enumerate(schedule.steps):
@@ -286,6 +290,10 @@ def generate_kernel(schedule, progress=False, profiler=None):
         em.emit('pass')
     em.level -= 1
     em.emit('return')
+
+    # static communication hygiene: concurrently live exchangers must
+    # own disjoint tag spaces (a collision would cross-deliver halos)
+    check_tag_spaces(exchangers)
 
     source = em.source()
     namespace = {}

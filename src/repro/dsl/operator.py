@@ -20,6 +20,8 @@ from ..codegen.pybackend import generate_kernel
 from ..ir.schedule import build_schedule
 from ..dsl.function import Constant
 from ..dsl.sparse import PrecomputedSparseData
+from ..mpi.faults import RankKilledError
+from ..mpi.sim import RemoteRankError
 from ..profiling import PerformanceSummary, Profiler
 from ..symbolics import preorder
 
@@ -157,6 +159,15 @@ class Operator:
         exchanger counters are snapshotted before and after the run, so
         repeated applies report per-invocation (not cumulative) message
         and byte counts.
+
+        Robustness: if the run aborts — e.g. a peer rank was killed by
+        an injected fault — the teardown is collective: every rank's
+        ``apply`` joins its progress threads, discards pending exchange
+        state and raises a (subclass of)
+        :class:`~repro.mpi.sim.RemoteRankError`; nothing hangs and no
+        daemon thread leaks.  On success, the commlog validator checks
+        message matching (no unmatched sends) and the summary carries
+        the transport's robustness counters as ``comm_health``.
         """
         time_m, time_M, arrays, params = self.arguments(**kwargs)
         comm = self.grid.comm
@@ -165,8 +176,18 @@ class Operator:
         before = {key: ex.counters()
                   for key, ex in self.kernel.exchangers.items()}
         tic = _time.perf_counter()
-        self.kernel(time_m, time_M, arrays, params, comm, prof.timer)
+        try:
+            self.kernel(time_m, time_M, arrays, params, comm, prof.timer)
+        except BaseException as exc:
+            self._abort_run(comm, exc)
+            raise
         elapsed = _time.perf_counter() - tic
+        world = getattr(comm, 'world', None)
+        if world is not None and world.commlog.enabled:
+            # message-matching validation: at this quiescent point (all
+            # halo waits drained, profiling collective not yet started)
+            # a user-tagged leftover in our mailbox is an unmatched send
+            world.commlog.validate(world, comm.rank)
         deltas = {}
         for key, ex in self.kernel.exchangers.items():
             after = ex.counters()
@@ -186,11 +207,37 @@ class Operator:
             nranks = comm.size if agg_comm is not None else 1
             if prof.advanced:
                 traces = tuple(prof.timer.traces)
+        comm_health = world.comm_health() if world is not None else {}
         return PerformanceSummary(points, timesteps, elapsed,
                                   self._flops_per_point,
                                   self._traffic_per_point, nmessages=nmsg,
                                   sections=sections, nranks=nranks,
-                                  level=prof.level, traces=traces)
+                                  level=prof.level, traces=traces,
+                                  comm_health=comm_health)
+
+    def _abort_run(self, comm, exc):
+        """Collective teardown of a failed ``apply``.
+
+        Joins every progress thread, discards pending exchange state
+        (so a later ``apply`` on a recovered world starts clean and
+        never double-counts), and — when this rank is the failure
+        origin — wakes all blocked peers with
+        :class:`~repro.mpi.sim.RemoteRankError` instead of leaving them
+        to hang until their receive timeouts expire.
+        """
+        for ex in self.kernel.exchangers.values():
+            try:
+                ex.abort()
+            except Exception:  # noqa: BLE001 - teardown must not mask exc
+                pass
+        world = getattr(comm, 'world', None)
+        if world is None:
+            return
+        originated_here = isinstance(exc, RankKilledError) or \
+            not isinstance(exc, RemoteRankError)
+        if originated_here:
+            world.fail(origin=getattr(comm, 'rank', None),
+                       reason='%s: %s' % (type(exc).__name__, exc))
 
     # -- helpers ----------------------------------------------------------------------
 

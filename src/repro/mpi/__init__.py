@@ -11,6 +11,9 @@ and sparse-point routing (:mod:`.routing`).
 from .sim import (ANY_SOURCE, ANY_TAG, PROC_NULL, CompletedRequest,
                   RecvRequest, RemoteRankError, Request, SimComm, SimWorld,
                   parallel, run_parallel, serial_comm)
+from .faults import FaultPlan, RankKilledError
+from .commlog import (CommLog, CommValidationError, DeadlockError,
+                      TagCollisionError, check_tag_spaces)
 from .cart import CartComm, compute_dims, create_cart, neighborhood_offsets
 from .decomposition import Decomposition
 from .distributor import Distributor
@@ -23,7 +26,9 @@ from .routing import PointRouting, bilinear_coefficients, support_points
 __all__ = [
     'ANY_SOURCE', 'ANY_TAG', 'PROC_NULL', 'CompletedRequest', 'RecvRequest',
     'RemoteRankError', 'Request', 'SimComm', 'SimWorld', 'parallel',
-    'run_parallel', 'serial_comm', 'CartComm', 'compute_dims', 'create_cart',
+    'run_parallel', 'serial_comm', 'FaultPlan', 'RankKilledError',
+    'CommLog', 'CommValidationError', 'DeadlockError', 'TagCollisionError',
+    'check_tag_spaces', 'CartComm', 'compute_dims', 'create_cart',
     'neighborhood_offsets', 'Decomposition', 'Distributor', 'Data',
     'DimSpec', 'BasicExchanger', 'DiagonalExchanger', 'FullExchanger',
     'HaloWidths', 'core_region', 'make_exchanger', 'remainder_regions',

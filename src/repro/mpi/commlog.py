@@ -1,0 +1,252 @@
+"""Communication-correctness validation for the simulated MPI runtime.
+
+An always-available :class:`CommLog` lives on every
+:class:`~repro.mpi.sim.SimWorld` and records every send and receive
+(src, dst, tag, bytes, section).  It provides three families of checks:
+
+* **Message matching** — at the end of every ``Operator.apply`` (and on
+  demand via :meth:`CommLog.validate`), a rank's mailbox must contain no
+  leftover user-tagged messages: a leftover is an *unmatched send*, i.e.
+  a peer posted a send this rank never received.
+* **Tag-space hygiene** — :func:`check_tag_spaces` statically verifies
+  that no two concurrently live exchangers of one kernel have
+  overlapping tag ranges (a collision would silently cross-deliver halo
+  slabs between functions).
+* **Deadlock detection** — every blocked receive registers a wait-for
+  edge ``rank -> source``; when a receive times out a scheduling slice,
+  :meth:`CommLog.deadlock_probe` looks for a cycle in the wait-for graph
+  and, if one is *live* (every member still blocked with no satisfying
+  message in its mailbox or drop-limbo), raises a :class:`DeadlockError`
+  that **names the cycle** instead of burning the full timeout.
+
+The probe is sound against the obvious races because ``collect`` clears
+a rank's wait entry *before* popping the matching message: if a member's
+entry is observed unchanged both before and after the mailboxes are
+inspected, that member cannot have consumed a message in between.
+
+With ``configuration['commlog'] = False`` recording is skipped entirely;
+with it on (the default) the cost is a few dict updates per *message* —
+noise next to the per-message ``ndarray`` copies of the transport.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .sim import ANY_SOURCE, RemoteRankError
+
+__all__ = ['CommLog', 'CommValidationError', 'TagCollisionError',
+           'DeadlockError', 'check_tag_spaces']
+
+
+class CommValidationError(RuntimeError):
+    """A communication-correctness invariant was violated."""
+
+
+class TagCollisionError(CommValidationError):
+    """Two concurrently live exchangers own overlapping tag ranges."""
+
+
+class DeadlockError(RemoteRankError):
+    """A cycle was found in the wait-for graph (names the cycle)."""
+
+    def __init__(self, cycle, details):
+        self.cycle = tuple(cycle)
+        super().__init__(
+            "communication deadlock detected: cycle %s [%s]"
+            % (' -> '.join(str(r) for r in
+                           tuple(cycle) + (cycle[0],)), '; '.join(details)))
+
+
+class CommLog:
+    """Send/recv ledger + wait-for graph of one :class:`SimWorld`."""
+
+    def __init__(self, size, enabled=True):
+        self.size = int(size)
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        #: aggregate counters (monotonic)
+        self.nsends = 0
+        self.nrecvs = 0
+        self.nbytes_sent = 0
+        self.nbytes_recv = 0
+        self.nunmatched = 0
+        #: (src, dst, tag) -> [count, bytes, section]
+        self._sends = {}
+        #: (src, dst, tag) -> [count, bytes]
+        self._recvs = {}
+        #: rank -> (comm_id, source, tag, generation)
+        self._waits = {}
+        self._wait_gen = 0
+
+    # -- ledger ------------------------------------------------------------------
+
+    def record_send(self, src, dst, tag, nbytes, section=None):
+        if not self.enabled:
+            return
+        with self._lock:
+            self.nsends += 1
+            self.nbytes_sent += nbytes
+            rec = self._sends.get((src, dst, tag))
+            if rec is None:
+                self._sends[(src, dst, tag)] = [1, nbytes, section]
+            else:
+                rec[0] += 1
+                rec[1] += nbytes
+                if section is not None:
+                    rec[2] = section
+
+    def record_recv(self, src, dst, tag, nbytes):
+        if not self.enabled:
+            return
+        with self._lock:
+            self.nrecvs += 1
+            self.nbytes_recv += nbytes
+            rec = self._recvs.get((src, dst, tag))
+            if rec is None:
+                self._recvs[(src, dst, tag)] = [1, nbytes]
+            else:
+                rec[0] += 1
+                rec[1] += nbytes
+
+    def unmatched(self):
+        """(src, dst, tag, outstanding, section) with sends > recvs."""
+        with self._lock:
+            out = []
+            for key, (nsend, _, section) in sorted(self._sends.items()):
+                nrecv = self._recvs.get(key, (0, 0))[0]
+                if nsend > nrecv:
+                    out.append(key + (nsend - nrecv, section))
+            return out
+
+    # -- wait-for graph ----------------------------------------------------------
+
+    def set_wait(self, rank, comm_id, source, tag):
+        """Register that ``rank`` is blocked on (source, tag)."""
+        with self._lock:
+            self._wait_gen += 1
+            self._waits[rank] = (comm_id, source, tag, self._wait_gen)
+
+    def clear_wait(self, rank):
+        with self._lock:
+            self._waits.pop(rank, None)
+
+    def clear_all_waits(self):
+        with self._lock:
+            self._waits.clear()
+
+    def snapshot_waits(self):
+        with self._lock:
+            return dict(self._waits)
+
+    def _cycle_from(self, waits, start):
+        """Follow concrete wait edges from ``start``; return a cycle
+        through ``start``'s chain, or None."""
+        path = []
+        seen = {}
+        cur = start
+        while True:
+            entry = waits.get(cur)
+            if entry is None:
+                return None
+            source = entry[1]
+            if not isinstance(source, int) or source == ANY_SOURCE or \
+                    source < 0 or source >= self.size:
+                return None  # wildcard or invalid: no concrete edge
+            if cur in seen:
+                return path[seen[cur]:]
+            seen[cur] = len(path)
+            path.append(cur)
+            cur = source
+
+    def deadlock_probe(self, world, rank):
+        """A verified-live wait-for cycle through ``rank``, or None.
+
+        Soundness: a member's wait entry is cleared *before* it pops a
+        message, so "entry unchanged across the mailbox inspection"
+        implies it consumed nothing while we looked.
+        """
+        if not self.enabled:
+            return None
+        snap = self.snapshot_waits()
+        cycle = self._cycle_from(snap, rank)
+        if not cycle:
+            return None
+        # every member must truly have nothing to consume (mailbox or
+        # drop-limbo) for its registered wait
+        for r in cycle:
+            comm_id, source, tag, _ = snap[r]
+            if world.probe_pending(r, comm_id, source, tag):
+                return None
+        # re-read: if any member's entry changed, it made progress
+        snap2 = self.snapshot_waits()
+        for r in cycle:
+            if snap2.get(r) != snap[r]:
+                return None
+        details = ['rank %d waits on rank %d (tag=%s)'
+                   % (r, snap[r][1], snap[r][2]) for r in cycle]
+        return DeadlockError(cycle, details)
+
+    # -- end-of-run validation ----------------------------------------------------
+
+    def validate(self, world, rank):
+        """Check message matching for ``rank`` at a quiescent point.
+
+        Called at the end of ``Operator.apply`` (after the last halo
+        wait, before the profiling collective): every user-tagged
+        message still sitting in this rank's mailbox — or stranded in
+        its drop-limbo — is a send no receive ever matched.  Raises
+        :class:`CommValidationError` naming the culprits.
+        """
+        if not self.enabled:
+            return 0
+        leftovers = []
+        cond = world._conds[rank]
+        with cond:
+            for msg in world._boxes[rank]:
+                if msg.tag >= 0:
+                    leftovers.append(msg)
+            for msg in world._dropped[rank]:
+                if msg.tag >= 0:
+                    leftovers.append(msg)
+        if leftovers:
+            with self._lock:
+                self.nunmatched += len(leftovers)
+            detail = ', '.join(
+                '(src=%d, tag=%d, section=%s)'
+                % (m.source, m.tag, m.section) for m in leftovers[:8])
+            raise CommValidationError(
+                "unmatched sends: %d message(s) addressed to rank %d were "
+                "never received: %s%s"
+                % (len(leftovers), rank, detail,
+                   ', ...' if len(leftovers) > 8 else ''))
+        return 0
+
+    def counters(self):
+        with self._lock:
+            return {'nsends': self.nsends, 'nrecvs': self.nrecvs,
+                    'nbytes_sent': self.nbytes_sent,
+                    'nbytes_recv': self.nbytes_recv,
+                    'unmatched': self.nunmatched}
+
+    def __repr__(self):
+        return ('CommLog(%d ranks, %d sends, %d recvs, enabled=%s)'
+                % (self.size, self.nsends, self.nrecvs, self.enabled))
+
+
+def check_tag_spaces(exchangers):
+    """Verify the tag ranges of concurrently live exchangers are disjoint.
+
+    ``exchangers`` is the ``{key: exchanger}`` mapping of one generated
+    kernel; each exchanger owns ``[tag_base, tag_base + 3**ndim)``.
+    Raises :class:`TagCollisionError` naming the colliding pair.
+    """
+    items = sorted(((ex.tag_range, name)
+                    for name, ex in dict(exchangers).items()))
+    for ((lo_a, hi_a), name_a), ((lo_b, hi_b), name_b) in zip(items,
+                                                              items[1:]):
+        if hi_a > lo_b:
+            raise TagCollisionError(
+                "tag collision between exchangers %r [%d, %d) and %r "
+                "[%d, %d): messages of one would match receives of the "
+                "other" % (name_a, lo_a, hi_a, name_b, lo_b, hi_b))

@@ -77,13 +77,17 @@ class _ExchangerBase:
         Halo extents to actually exchange.
     tag_base : int
         Disambiguates concurrent exchanges of different functions.
+    name : str, optional
+        Label used by the commlog validator to attribute traffic (the
+        code generator passes the kernel-local exchanger key).
     """
 
-    def __init__(self, distributor, halo, widths, tag_base=0):
+    def __init__(self, distributor, halo, widths, tag_base=0, name=None):
         self.distributor = distributor
         self.halo = tuple(halo)
         self.widths = HaloWidths(widths)
         self.tag_base = int(tag_base)
+        self.name = name if name is not None else 'x@%d' % self.tag_base
         self.ndim = distributor.ndim
         if len(self.halo) != self.ndim or len(self.widths) != self.ndim:
             raise ValueError("halo/widths dimensionality mismatch")
@@ -102,6 +106,70 @@ class _ExchangerBase:
         self.nbytes_recv = 0
         self.wait_time = 0.0
         self.ncalls = 0
+        #: pending receive batches posted by ``begin`` and not yet
+        #: consumed by ``finish``; ``abort`` clears them so aborted
+        #: applies leave no stale state behind
+        self._inflight = []
+        if distributor.is_parallel:
+            self.validate_geometry()
+
+    # -- robustness ---------------------------------------------------------------
+
+    @property
+    def tag_range(self):
+        """Half-open tag interval owned by this exchanger (used by the
+        commlog's static tag-collision check)."""
+        return (self.tag_base, self.tag_base + 3 ** self.ndim)
+
+    def validate_geometry(self):
+        """Check send/recv region volume consistency with every neighbor.
+
+        For each neighbor, the volume this rank sends toward it must
+        equal the halo volume the neighbor's matching receive expects —
+        computable locally from the shared per-dimension decompositions
+        (perpendicular extents come from the neighbor's coordinates,
+        which agree with ours along every zero-offset dimension).
+        Raises ``ValueError`` on mismatch (an uneven-decomposition or
+        width-disagreement bug the transport would otherwise surface as
+        a cryptic reshape error mid-run).
+        """
+        dist = self.distributor
+        for offsets, rank in dist.neighborhood(diagonals=True).items():
+            if rank == PROC_NULL or not any(offsets):
+                continue
+            ncoords = tuple(c + o for c, o in zip(dist.mycoords, offsets))
+            send_vol = recv_vol = 1
+            for d, off in enumerate(offsets):
+                wl, wr = self.widths[d]
+                if off == 0:
+                    send_vol *= dist.shape_local[d]
+                    recv_vol *= dist.decompositions[d].size(ncoords[d])
+                elif off > 0:
+                    send_vol *= wl
+                    recv_vol *= wl
+                else:
+                    send_vol *= wr
+                    recv_vol *= wr
+            if send_vol != recv_vol:
+                raise ValueError(
+                    "halo volume mismatch toward neighbor %s (rank %d): "
+                    "sending %d points but its receive region holds %d "
+                    "— inconsistent decomposition/widths"
+                    % (offsets, rank, send_vol, recv_vol))
+
+    def abort(self):
+        """Collective-teardown hook: discard pending receive state.
+
+        Called by ``Operator.apply`` when a run aborts (e.g. a peer rank
+        was killed by fault injection) so the next ``apply`` on the same
+        operator starts from a clean slate."""
+        self._inflight.clear()
+
+    def _enter(self):
+        """Start one exchange: bump the call counter and label outgoing
+        traffic with this exchanger's name for the commlog."""
+        self.ncalls += 1
+        self.distributor.comm.section = self.name
 
     # -- instrumentation ---------------------------------------------------------
 
@@ -192,7 +260,7 @@ class BasicExchanger(_ExchangerBase):
         """Update all halo regions of ``view`` (array incl. halo)."""
         comm = self.distributor.comm
         done_dims = []
-        self.ncalls += 1
+        self._enter()
         for d in self._active_dims():
             for sign in (1, -1):
                 offsets = tuple(sign if i == d else 0
@@ -240,8 +308,9 @@ class DiagonalExchanger(_ExchangerBase):
 
     diagonals = True
 
-    def __init__(self, distributor, halo, widths, tag_base=0):
-        super().__init__(distributor, halo, widths, tag_base=tag_base)
+    def __init__(self, distributor, halo, widths, tag_base=0, name=None):
+        super().__init__(distributor, halo, widths, tag_base=tag_base,
+                         name=name)
         active = set(self._active_dims())
         self._neighbors = {}
         for offsets, rank in distributor.neighborhood(diagonals=True).items():
@@ -274,7 +343,7 @@ class DiagonalExchanger(_ExchangerBase):
         """Post all sends/receives; return the pending receive list."""
         comm = self.distributor.comm
         pending = []
-        self.ncalls += 1
+        self._enter()
         for offsets, rank in self._neighbors.items():
             sb, rb, send_region, recv_region = self._buffers(view, offsets)
             # pack (OpenMP-threaded in the paper; vectorized copy here)
@@ -288,16 +357,23 @@ class DiagonalExchanger(_ExchangerBase):
                              source=rank,
                              tag=self._tag(tuple(-o for o in offsets)))
             pending.append((req, rb, recv_region))
+        self._inflight.append(pending)
         return pending
 
     def finish(self, view, pending):
         """Wait for all receives and unpack into the halo."""
-        for req, rb, recv_region in pending:
-            tic = perf_counter()
-            req.wait()
-            self.wait_time += perf_counter() - tic
-            self.nbytes_recv += rb.nbytes
-            view[recv_region] = rb
+        try:
+            for req, rb, recv_region in pending:
+                tic = perf_counter()
+                req.wait()
+                self.wait_time += perf_counter() - tic
+                self.nbytes_recv += rb.nbytes
+                view[recv_region] = rb
+        finally:
+            # consumed (or abandoned on error): either way no longer
+            # pending — a subsequent apply must not see stale state
+            self._inflight = [p for p in self._inflight
+                              if p is not pending]
 
     def exchange(self, view):
         self.finish(view, self.begin(view))
@@ -313,8 +389,9 @@ class FullExchanger(DiagonalExchanger):
     """
 
     def __init__(self, distributor, halo, widths, tag_base=0,
-                 progress=False, test_period=1e-4):
-        super().__init__(distributor, halo, widths, tag_base=tag_base)
+                 progress=False, test_period=1e-4, name=None):
+        super().__init__(distributor, halo, widths, tag_base=tag_base,
+                         name=name)
         self.progress = progress
         self.test_period = test_period
         self._stop = None
@@ -327,8 +404,13 @@ class FullExchanger(DiagonalExchanger):
 
             def prod():
                 while not self._stop.is_set():
-                    for req, _, _ in pending:
-                        req.test()
+                    try:
+                        for req, _, _ in pending:
+                            req.test()
+                    except Exception:
+                        # a peer failed mid-run: the main thread will
+                        # surface the error; just stop prodding quietly
+                        break
                     self._stop.wait(self.test_period)
 
             self._thread = threading.Thread(target=prod, daemon=True,
@@ -336,16 +418,34 @@ class FullExchanger(DiagonalExchanger):
             self._thread.start()
         return pending
 
-    def finish(self, view, pending):
+    def _join_progress(self):
+        """Stop and join the progress thread (idempotent)."""
         if self._thread is not None:
             self._stop.set()
             self._thread.join()
             self._thread = None
-        super().finish(view, pending)
+
+    def finish(self, view, pending):
+        # join *before* draining so the exception path (a receive
+        # raising RemoteRankError) can never leak the daemon thread
+        try:
+            self._join_progress()
+        finally:
+            super().finish(view, pending)
+
+    def abort(self):
+        self._join_progress()
+        super().abort()
 
 
 def make_exchanger(mode, distributor, halo, widths, tag_base=0, **kwargs):
-    """Factory keyed on the paper's mode names."""
+    """Factory keyed on the paper's mode names.
+
+    ``mode`` is one of ``'basic'``, ``'diagonal'`` or ``'full'``.  The
+    Devito-compatible aliases ``'diag'`` and ``'diag2'`` (the names
+    ``DEVITO_MPI`` accepts for the corner-exchanging single-step
+    pattern) both map to :class:`DiagonalExchanger`.
+    """
     table = {'basic': BasicExchanger,
              'diag': DiagonalExchanger,
              'diagonal': DiagonalExchanger,
@@ -354,8 +454,9 @@ def make_exchanger(mode, distributor, halo, widths, tag_base=0, **kwargs):
     try:
         cls = table[mode]
     except KeyError:
-        raise ValueError("unknown MPI mode %r (expected basic/diagonal/full)"
-                         % (mode,))
+        raise ValueError(
+            "unknown MPI mode %r (expected one of basic, diag, diagonal, "
+            "diag2, full; diag/diag2 are aliases of diagonal)" % (mode,))
     return cls(distributor, halo, widths, tag_base=tag_base, **kwargs)
 
 

@@ -18,6 +18,22 @@ Semantics notes
   user messages as long as ranks call them SPMD-style (an MPI requirement).
 * If any rank raises, every blocked peer is woken with
   :class:`RemoteRankError` instead of deadlocking.
+
+Robustness layer
+----------------
+The transport integrates with two sibling modules:
+
+* :mod:`.faults` — a deterministic :class:`FaultPlan` (drop / delay /
+  duplicate / reorder / rank-kill) hooked into :meth:`SimWorld.deliver`
+  and :meth:`SimWorld.collect`.  Dropped messages land in a per-rank
+  "limbo" and are *redelivered* by the receiver's bounded retry path;
+  duplicates are deduplicated on consumption; per-(pair, tag) sequence
+  numbers keep matching non-overtaking under reordering, so any
+  non-lethal plan is maskable and results stay bit-identical.
+* :mod:`.commlog` — an always-on send/recv ledger plus a wait-for graph;
+  blocked receives that time out a scheduling slice probe for wait
+  cycles and raise a :class:`~repro.mpi.commlog.DeadlockError` naming
+  the cycle instead of burning the full timeout.
 """
 
 from __future__ import annotations
@@ -25,6 +41,7 @@ from __future__ import annotations
 import copy as _copy
 import itertools
 import threading
+import time as _time
 
 import numpy as np
 
@@ -45,13 +62,22 @@ class RemoteRankError(RuntimeError):
 
 
 class _Message:
-    __slots__ = ('comm_id', 'source', 'tag', 'payload')
+    __slots__ = ('comm_id', 'source', 'tag', 'payload', 'seq', 'section')
 
-    def __init__(self, comm_id, source, tag, payload):
+    def __init__(self, comm_id, source, tag, payload, seq=0, section=None):
         self.comm_id = comm_id
         self.source = source
         self.tag = tag
         self.payload = payload
+        #: per-(comm, source, dest, tag) sequence number, assigned by the
+        #: sender; preserves non-overtaking under fault-injected
+        #: reordering and enables duplicate discarding
+        self.seq = seq
+        #: the exchanger/section label active at send time (commlog)
+        self.section = section
+
+    def key(self):
+        return (self.comm_id, self.source, self.tag)
 
 
 def _copy_payload(obj):
@@ -60,45 +86,170 @@ def _copy_payload(obj):
     return _copy.deepcopy(obj)
 
 
-class SimWorld:
-    """The shared state of a simulated MPI job: one mailbox per rank."""
+def _payload_nbytes(obj):
+    return obj.nbytes if isinstance(obj, np.ndarray) else 0
 
-    def __init__(self, size):
+
+def _matches(msg, comm_id, source, tag):
+    if msg.comm_id != comm_id:
+        return False
+    if source != ANY_SOURCE and msg.source != source:
+        return False
+    if tag != ANY_TAG and msg.tag != tag:
+        return False
+    return True
+
+
+def _configured(key, fallback):
+    """Read a configuration key, tolerating bootstrap/circular imports."""
+    try:
+        from .. import configuration
+    except ImportError:  # pragma: no cover - package bootstrap only
+        return fallback
+    try:
+        return configuration[key]
+    except (KeyError, ValueError):  # pragma: no cover - unregistered key
+        return fallback
+
+
+class SimWorld:
+    """The shared state of a simulated MPI job: one mailbox per rank.
+
+    Parameters
+    ----------
+    size : int
+        Number of ranks.
+    faults : FaultPlan, False or None
+        Fault-injection plan; ``None`` reads ``configuration['faults']``,
+        ``False`` disables injection regardless of configuration.
+    recv_timeout : float, optional
+        Default per-receive timeout in seconds (the budget across all
+        retries); defaults to ``configuration['comm_timeout']``.
+    max_retries : int, optional
+        Bound on drop-recovery redelivery attempts per blocked receive;
+        defaults to ``configuration['comm_retries']``.
+    check_interval : float
+        Scheduling slice of a blocked receive: every slice the receiver
+        retries dropped messages (with linear backoff) and probes the
+        wait-for graph for deadlock cycles.
+    """
+
+    def __init__(self, size, faults=None, recv_timeout=None,
+                 max_retries=None, check_interval=0.05):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self._boxes = [[] for _ in range(size)]
+        #: fault-injected dropped messages awaiting redelivery, per rank
+        self._dropped = [[] for _ in range(size)]
         self._conds = [threading.Condition() for _ in range(size)]
         self._failed = threading.Event()
+        self._fail_reason = None
+        if faults is None:
+            faults = _configured('faults', False)
+        self.faults = faults or None
+        self.recv_timeout = float(recv_timeout
+                                  if recv_timeout is not None
+                                  else _configured('comm_timeout', 60.0))
+        self.max_retries = int(max_retries
+                               if max_retries is not None
+                               else _configured('comm_retries', 3))
+        self.check_interval = float(check_interval)
+        from .commlog import CommLog
+        self.commlog = CommLog(size, enabled=_configured('commlog', True))
         #: transport-level instrumentation: messages/bytes delivered per
         #: destination rank (monotonic; profiling reads, never resets)
         self.ndelivered = [0] * size
         self.nbytes_delivered = [0] * size
+        #: robustness instrumentation, per destination rank (monotonic)
+        self.ndrops_injected = [0] * size
+        self.ndups_injected = [0] * size
+        self.nredelivered = [0] * size
+        self.nretries = [0] * size
 
     # -- transport ---------------------------------------------------------
 
     def deliver(self, dest, message):
         if not 0 <= dest < self.size:
             raise ValueError("invalid destination rank %d" % dest)
+        plan = self.faults
+        actions = ()
+        if plan is not None:
+            actions = plan.decide(message.source, dest, message.tag,
+                                  message.seq)
+            if 'delay' in actions:
+                _time.sleep(plan.delay)
+        self.commlog.record_send(message.source, dest, message.tag,
+                                 _payload_nbytes(message.payload),
+                                 section=message.section)
         cond = self._conds[dest]
         with cond:
-            self._boxes[dest].append(message)
+            if 'drop' in actions:
+                self._dropped[dest].append(message)
+                self.ndrops_injected[dest] += 1
+                # no notify: the receiver recovers it on its retry path
+                return
+            box = self._boxes[dest]
+            if 'reorder' in actions and box:
+                box.insert(0, message)
+            else:
+                box.append(message)
+            if 'duplicate' in actions:
+                # enqueue the *same* object again; consumption discards
+                # aliases by identity (transport-level dedup)
+                box.append(message)
+                self.ndups_injected[dest] += 1
             self.ndelivered[dest] += 1
-            if isinstance(message.payload, np.ndarray):
-                self.nbytes_delivered[dest] += message.payload.nbytes
+            self.nbytes_delivered[dest] += _payload_nbytes(message.payload)
             cond.notify_all()
 
+    def _redeliver_locked(self, dest):
+        """Move dropped messages into the mailbox (``cond`` held)."""
+        dropped = self._dropped[dest]
+        if dropped:
+            self._boxes[dest].extend(dropped)
+            self.nredelivered[dest] += len(dropped)
+            dropped.clear()
+
     def _find(self, dest, comm_id, source, tag):
+        """Index of the next matching message, honoring non-overtaking.
+
+        Among matching messages of the same (comm, source, tag) stream
+        the lowest sequence number wins, so fault-injected reordering is
+        invisible to MPI matching semantics.  If an *earlier* message of
+        the winning stream is stranded in drop-limbo, it is redelivered
+        on the spot (receiver-driven retransmission).
+        """
         box = self._boxes[dest]
+        best = None
         for i, msg in enumerate(box):
-            if msg.comm_id != comm_id:
+            if not _matches(msg, comm_id, source, tag):
                 continue
-            if source != ANY_SOURCE and msg.source != source:
-                continue
-            if tag != ANY_TAG and msg.tag != tag:
-                continue
-            return i
-        return None
+            if best is None:
+                best = i
+            else:
+                cand = box[best]
+                if msg.key() == cand.key() and msg.seq < cand.seq:
+                    best = i
+        if best is not None and self._dropped[dest]:
+            winner = box[best]
+            for msg in self._dropped[dest]:
+                if msg.key() == winner.key() and msg.seq < winner.seq:
+                    # an earlier message of this stream was dropped:
+                    # recover it before matching out of order
+                    self.nretries[dest] += 1
+                    self._redeliver_locked(dest)
+                    return self._find(dest, comm_id, source, tag)
+        return best
+
+    def _pop_locked(self, dest, index):
+        """Remove and return ``box[index]``, discarding duplicate
+        aliases of the same message object (``cond`` held)."""
+        box = self._boxes[dest]
+        msg = box.pop(index)
+        if msg in box:  # fault-injected duplicate: purge aliases
+            box[:] = [m for m in box if m is not msg]
+        return msg
 
     def probe(self, dest, comm_id, source, tag):
         """Non-destructively check for a matching message."""
@@ -106,30 +257,117 @@ class SimWorld:
         with cond:
             return self._find(dest, comm_id, source, tag) is not None
 
-    def collect(self, dest, comm_id, source, tag, block=True, timeout=60.0):
-        """Remove and return the first matching message (or None)."""
-        cond = self._conds[dest]
-        with cond:
-            while True:
-                if self._failed.is_set():
-                    raise RemoteRankError("a peer rank failed")
-                i = self._find(dest, comm_id, source, tag)
-                if i is not None:
-                    return self._boxes[dest].pop(i)
-                if not block:
-                    return None
-                if not cond.wait(timeout=timeout):
-                    raise RemoteRankError(
-                        "timed out waiting for message (source=%s, tag=%s) "
-                        "on rank %d — likely communication deadlock"
-                        % (source, tag, dest))
+    def probe_pending(self, dest, comm_id, source, tag):
+        """Lock-free scan of mailbox *and* drop-limbo (deadlock probes).
 
-    def fail(self):
+        Reads list snapshots without taking ``dest``'s condition (the
+        caller typically holds its *own* rank's condition; taking
+        another rank's here could deadlock the runtime itself).  Safe
+        under the GIL; at worst conservatively reports a message that is
+        about to be consumed, which only suppresses a deadlock report.
+        """
+        for msg in list(self._boxes[dest]) + list(self._dropped[dest]):
+            if _matches(msg, comm_id, source, tag):
+                return True
+        return False
+
+    def collect(self, dest, comm_id, source, tag, block=True, timeout=None):
+        """Remove and return the first matching message (or None).
+
+        Blocking receives wait in ``check_interval`` slices: each
+        expired slice first redelivers fault-dropped messages (bounded
+        by ``max_retries``, with linearly growing backoff), then probes
+        the wait-for graph and raises a
+        :class:`~repro.mpi.commlog.DeadlockError` naming any live cycle;
+        only after ``timeout`` seconds (default ``recv_timeout``) does
+        it give up with a plain :class:`RemoteRankError`.
+        """
+        cond = self._conds[dest]
+        log = self.commlog
+        timeout = self.recv_timeout if timeout is None else timeout
+        deadline = _time.monotonic() + timeout
+        retries = 0
+        registered = False
+        try:
+            with cond:
+                while True:
+                    if self._failed.is_set():
+                        raise RemoteRankError(self._fail_reason
+                                              or "a peer rank failed")
+                    i = self._find(dest, comm_id, source, tag)
+                    if i is not None:
+                        if registered:
+                            # clear *before* popping: the deadlock probe
+                            # relies on this ordering for soundness
+                            log.clear_wait(dest)
+                            registered = False
+                        msg = self._pop_locked(dest, i)
+                        log.record_recv(msg.source, dest, msg.tag,
+                                        _payload_nbytes(msg.payload))
+                        return msg
+                    if not block:
+                        return None
+                    if not registered:
+                        log.set_wait(dest, comm_id, source, tag)
+                        registered = True
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        raise RemoteRankError(
+                            "timed out waiting for message (source=%s, "
+                            "tag=%s) on rank %d — likely communication "
+                            "deadlock" % (source, tag, dest))
+                    # linear backoff across retry attempts
+                    slice_ = min(self.check_interval * (1 + retries),
+                                 remaining)
+                    if cond.wait(timeout=slice_):
+                        continue  # traffic arrived; re-match
+                    if self._dropped[dest] and retries < self.max_retries:
+                        retries += 1
+                        self.nretries[dest] += 1
+                        self._redeliver_locked(dest)
+                        continue
+                    error = log.deadlock_probe(self, dest)
+                    if error is not None:
+                        self.fail(origin=dest, reason=str(error))
+                        raise error
+        finally:
+            if registered:
+                log.clear_wait(dest)
+
+    def fail(self, origin=None, reason=None):
         """Mark the job failed and wake all blocked ranks."""
+        if reason is not None and self._fail_reason is None:
+            self._fail_reason = ("rank %s failed: %s" % (origin, reason)
+                                 if origin is not None else str(reason))
         self._failed.set()
         for cond in self._conds:
             with cond:
                 cond.notify_all()
+
+    def reset(self):
+        """Recover a failed world: clear the failure flag, all mailboxes,
+        drop-limbo and wait registrations (instrumentation counters are
+        preserved).  All ranks must be quiescent when one rank calls
+        this (graceful-degradation tests synchronize with a barrier)."""
+        self._failed.clear()
+        self._fail_reason = None
+        for cond, box, dropped in zip(self._conds, self._boxes,
+                                      self._dropped):
+            with cond:
+                box.clear()
+                dropped.clear()
+        self.commlog.clear_all_waits()
+
+    # -- robustness instrumentation -----------------------------------------
+
+    def comm_health(self):
+        """Aggregate robustness counters (flows into profiling JSON)."""
+        out = {'drops_injected': sum(self.ndrops_injected),
+               'duplicates_injected': sum(self.ndups_injected),
+               'redelivered': sum(self.nredelivered),
+               'retries': sum(self.nretries)}
+        out.update(self.commlog.counters())
+        return out
 
 
 class Request:
@@ -208,6 +446,18 @@ class SimComm:
         self._id = comm_id
         self._coll_seq = itertools.count()
         self._dup_seq = itertools.count()
+        #: per-(dest, tag) send sequence numbers (non-overtaking streams)
+        self._pt_seq = {}
+        #: label attached to outgoing messages (set by exchangers so the
+        #: commlog can attribute traffic to kernel sections)
+        self.section = None
+
+    def fault_tick(self, timestep):
+        """Fault-injection hook called by generated kernels at the top
+        of every timestep; kills this rank if the active plan says so."""
+        plan = self.world.faults
+        if plan is not None:
+            plan.tick(self.rank, timestep)
 
     # -- introspection ---------------------------------------------------------
 
@@ -244,8 +494,12 @@ class SimComm:
     def send(self, obj, dest, tag=0):
         if dest == PROC_NULL:
             return
+        key = (dest, tag)
+        seq = self._pt_seq.get(key, 0)
+        self._pt_seq[key] = seq + 1
         self.world.deliver(dest, _Message(self._id, self.rank, tag,
-                                          _copy_payload(obj)))
+                                          _copy_payload(obj), seq=seq,
+                                          section=self.section))
 
     Send = send
 
@@ -436,8 +690,14 @@ def run_parallel(fn, ranks, *args, timeout=600.0, **kwargs):
                                   "(deadlock?)")
     if errors:
         errors.sort(key=lambda e: e[0])
+        # prefer the most informative error: a genuine application error
+        # beats a fault/deadlock diagnostic, which beats the generic
+        # peer-failed wakeup the other ranks were unblocked with
         rank, exc = errors[0]
         primary = [e for e in errors if not isinstance(e[1], RemoteRankError)]
+        if not primary:
+            primary = [e for e in errors
+                       if type(e[1]) is not RemoteRankError]
         if primary:
             rank, exc = primary[0]
         raise exc

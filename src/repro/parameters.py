@@ -92,6 +92,28 @@ class Configuration(MutableMapping):
             'profiling', default='basic', env='REPRO_PROFILING',
             accepted=PROFILING_LEVELS,
             description='instrumentation level of generated kernels'))
+        self.register(Parameter(
+            'faults', default=False, env='REPRO_FAULTS',
+            converter=self._convert_faults,
+            description='deterministic fault-injection plan for the '
+                        'simulated transport (spec string, e.g. '
+                        '"seed=1,drop=0.05,kill=1@10"; False = off)'))
+        self.register(Parameter(
+            'commlog', default=True, env='REPRO_COMMLOG',
+            converter=_as_bool,
+            description='communication-correctness validator (message '
+                        'matching, tag hygiene, deadlock-cycle '
+                        'detection)'))
+        self.register(Parameter(
+            'comm_timeout', default=60.0, env='REPRO_COMM_TIMEOUT',
+            converter=self._convert_positive_float,
+            description='per-receive timeout budget in seconds (spans '
+                        'all retries)'))
+        self.register(Parameter(
+            'comm_retries', default=3, env='REPRO_COMM_RETRIES',
+            converter=self._convert_nonneg_int,
+            description='bounded redelivery attempts for fault-dropped '
+                        'messages per blocked receive'))
 
         for key, spec in self._registry.items():
             value = spec.default
@@ -109,6 +131,40 @@ class Configuration(MutableMapping):
             return 'basic'
         if value is False or value is None:
             return False
+        return value
+
+    @staticmethod
+    def _convert_faults(value):
+        if value is None or value is False:
+            return False
+        from .mpi.faults import FaultPlan
+        if isinstance(value, FaultPlan):
+            return value
+        if isinstance(value, str):
+            low = value.strip().lower()
+            if low in _FALSE or low == '':
+                return False
+            if low in _TRUE:
+                raise ValueError(
+                    "fault injection needs a spec, e.g. "
+                    "'seed=1,drop=0.05,kill=1@10' (see "
+                    "repro.mpi.faults.FaultPlan.parse)")
+            return FaultPlan.parse(value)
+        raise ValueError("expected a FaultPlan, a spec string or False, "
+                         "got %r" % (value,))
+
+    @staticmethod
+    def _convert_positive_float(value):
+        value = float(value)
+        if value <= 0:
+            raise ValueError("expected a positive number of seconds")
+        return value
+
+    @staticmethod
+    def _convert_nonneg_int(value):
+        value = int(value)
+        if value < 0:
+            raise ValueError("expected a non-negative integer")
         return value
 
     # -- registry ---------------------------------------------------------------

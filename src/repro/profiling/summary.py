@@ -83,7 +83,7 @@ class PerformanceSummary(Mapping):
 
     def __init__(self, points, timesteps, elapsed, flops_per_point,
                  traffic_per_point, nmessages=0, sections=None, nranks=1,
-                 level='off', traces=None):
+                 level='off', traces=None, comm_health=None):
         self.points = points          # grid points updated per timestep
         self.timesteps = timesteps
         self.elapsed = elapsed
@@ -95,6 +95,10 @@ class PerformanceSummary(Mapping):
         self._sections = dict(sections or {})
         #: per-timestep (timestep, section, seconds) records ('advanced')
         self.traces = list(traces or [])
+        #: transport robustness counters (sends/recvs recorded by the
+        #: commlog, fault-injected drops/duplicates, redeliveries and
+        #: retries) — populated on simulated-MPI runs
+        self.comm_health = dict(comm_health or {})
 
     # -- mapping protocol (keyed by section name) -------------------------------
 
@@ -150,6 +154,7 @@ class PerformanceSummary(Mapping):
             'sections': {name: e.to_dict()
                          for name, e in self._sections.items()},
             'traces': [list(t) for t in self.traces],
+            'comm_health': dict(self.comm_health),
         }
 
     def save_json(self, path):

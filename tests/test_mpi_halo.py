@@ -142,8 +142,33 @@ class TestExchangers:
 
     def test_unknown_mode_rejected(self):
         dist = Distributor((8, 8))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as err:
             make_exchanger('magic', dist, [(1, 1)] * 2, [(1, 1)] * 2)
+        # the error enumerates every accepted mode, aliases included
+        for mode in ('basic', 'diag', 'diagonal', 'diag2', 'full'):
+            assert mode in str(err.value)
+
+    @pytest.mark.parametrize('alias', ['diag', 'diag2'])
+    def test_devito_diag_aliases(self, alias):
+        """DEVITO_MPI-compatible names map to the diagonal pattern."""
+        from repro.mpi import DiagonalExchanger, FullExchanger
+        dist = Distributor((8, 8))
+        ex = make_exchanger(alias, dist, [(1, 1)] * 2, [(1, 1)] * 2)
+        assert type(ex) is DiagonalExchanger
+        assert not isinstance(ex, FullExchanger)
+
+    @pytest.mark.parametrize('alias', ['diag', 'diag2'])
+    def test_diag_aliases_exchange_like_diagonal(self, alias):
+        def job(comm, mode):
+            dist, d, glob = _distributed_field(comm, (8, 8), 2)
+            ex = make_exchanger(mode, dist, d.halo, [(2, 2), (2, 2)])
+            ex.exchange(d.with_halo)
+            _check_halo(dist, d, glob, 2)
+            return ex.nmessages
+
+        counts = run_parallel(lambda c: job(c, alias), 4)
+        reference = run_parallel(lambda c: job(c, 'diagonal'), 4)
+        assert counts == reference  # same Moore-neighborhood message set
 
     def test_zero_width_dims_skipped(self):
         def job(comm):
