@@ -22,6 +22,8 @@ import sys
 
 import numpy as np
 
+from .mpi.faults import RankKilledError
+
 __all__ = ['main', 'run_benchmark']
 
 _SETUPS = None
@@ -82,12 +84,38 @@ def _parser():
                    help='JSON artifact path for --profile advanced '
                         '(loadable by repro.perfmodel.report.'
                         'load_profile_json)')
+    p.add_argument('--recover', choices=['abort', 'restart', 'shrink'],
+                   default=None,
+                   help='survive lethal injected faults: restart '
+                        '(same-world restore from the newest valid '
+                        'checkpoint) or shrink (drop the dead rank and '
+                        'redistribute onto the survivors); default '
+                        'abort')
+    p.add_argument('--checkpoint-every', type=int, default=None,
+                   metavar='N',
+                   help='checkpoint cadence in timesteps (0: only the '
+                        'baseline snapshot a recovery policy needs)')
+    p.add_argument('--checkpoint-dir', default=None, metavar='PATH',
+                   help='checkpoint directory shared by all ranks '
+                        '(default .repro_checkpoints)')
+    p.add_argument('--checkpoint-keep', type=int, default=None,
+                   metavar='K',
+                   help='number of most-recent checkpoints retained')
+    p.add_argument('--resume', action='store_true',
+                   help='start from the newest valid checkpoint in '
+                        '--checkpoint-dir instead of timestep 0')
+    p.add_argument('--health-check-every', type=int, default=None,
+                   metavar='N',
+                   help='NaN/Inf/blowup scan cadence in timesteps')
     return p
 
 
 def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                   ranks=1, topology=None, opt=True, verify=False,
-                  out=None, profile=None, profile_out=None, faults=None):
+                  out=None, profile=None, profile_out=None, faults=None,
+                  recover=None, checkpoint_every=None, checkpoint_dir=None,
+                  checkpoint_keep=None, resume=False,
+                  health_check_every=None):
     """Run one benchmark; returns (summary, gathered primary field)."""
     # resolve stdout at call time (pytest capture swaps sys.stdout)
     out = out if out is not None else sys.stdout
@@ -101,39 +129,66 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
         plan = configuration['faults']
         if plan:
             print('fault injection : %s' % plan.describe(), file=out)
+    overrides = {'recovery': recover, 'checkpoint_every': checkpoint_every,
+                 'checkpoint_dir': checkpoint_dir,
+                 'checkpoint_keep': checkpoint_keep,
+                 'health_check_every': health_check_every}
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    # also snapshot the keys --verify resets for its serial reference
+    saved_cfg = {k: configuration[k]
+                 for k in set(overrides) | {'recovery', 'checkpoint_every',
+                                            'health_check_every'}}
+    for k, v in overrides.items():
+        configuration[k] = v
+    if recover is not None and recover != 'abort':
+        print('recovery policy : %s' % recover, file=out)
     setup = _setups()[kernel]
     spacing = (10.0,) * len(shape)
 
-    def single(comm=None):
+    def single(comm=None, resume_run=False):
         solver, tr = setup(shape=tuple(shape), spacing=spacing, tn=tn,
                            space_order=space_order, nbl=nbl, comm=comm,
                            topology=tuple(topology) if topology else None,
                            mpi=mpi if comm is not None else None,
                            opt=opt, nrec=16)
-        result = solver.forward()
+        result = solver.forward(**({'resume': True} if resume_run else {}))
         summary = result[-1]
         wf = result[1]
         field = wf.data.gather() if hasattr(wf, 'data') \
             else wf[0].data.gather()
         return summary, field, solver.op
 
+    def spmd(comm):
+        try:
+            return single(comm, resume_run=resume)
+        except RankKilledError:
+            if configuration['recovery'] == 'shrink':
+                # under shrink the victim leaves the job; the survivors
+                # carry the run to completion without it
+                return None
+            raise
+
     try:
         if ranks == 1:
-            summary, field, op = single()
+            summary, field, op = single(resume_run=resume)
             _report(kernel, shape, space_order, mpi, 1, summary, op, out,
                     profile=profile, profile_out=profile_out)
             return summary, field
 
         from .mpi import run_parallel
-        results = run_parallel(lambda c: single(c), ranks)
-        summary, field, op = results[0]
+        results = run_parallel(spmd, ranks)
+        survivors = [r for r in results if r is not None]
+        summary, field, op = survivors[0]
         _report(kernel, shape, space_order, mpi, ranks, summary, op, out,
                 profile=profile, profile_out=profile_out)
         if verify:
-            # the serial reference runs fault-free: with a (non-lethal)
-            # plan injected above, IDENTICAL proves the faults were
-            # fully masked by the retry/dedup/ordering machinery
+            # the serial reference runs fault-free and recovery-free:
+            # IDENTICAL proves injected faults were fully masked (non-
+            # lethal plans) or fully recovered (kills + --recover)
             configuration['faults'] = False
+            for key in ('recovery', 'checkpoint_every',
+                        'health_check_every'):
+                del configuration[key]  # reset to defaults
             serial_summary, serial_field, _ = single()
             ok = np.array_equal(field, serial_field)
             print('verification vs serial run: %s'
@@ -143,6 +198,8 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
         return summary, field
     finally:
         configuration['faults'] = saved_faults
+        for k, v in saved_cfg.items():
+            configuration[k] = v
         if profile is not None:
             configuration['profiling'] = saved_level
 
@@ -189,7 +246,12 @@ def main(argv=None):
                   topology=args.topology, opt=not args.no_opt,
                   verify=args.verify, profile=args.profile,
                   profile_out=args.profile_out,
-                  faults=args.inject_faults)
+                  faults=args.inject_faults, recover=args.recover,
+                  checkpoint_every=args.checkpoint_every,
+                  checkpoint_dir=args.checkpoint_dir,
+                  checkpoint_keep=args.checkpoint_keep,
+                  resume=args.resume,
+                  health_check_every=args.health_check_every)
 
 
 if __name__ == '__main__':

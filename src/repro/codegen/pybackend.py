@@ -42,9 +42,10 @@ class PyKernel:
         self.schedule = schedule
         self.profiler = profiler
 
-    def __call__(self, time_m, time_M, arrays, params, comm, timer=None):
+    def __call__(self, time_m, time_M, arrays, params, comm, timer=None,
+                 resilience=None):
         return self.func(time_m, time_M, arrays, params, self.exchangers,
-                         self.sparse_plans, comm, np, timer)
+                         self.sparse_plans, comm, np, timer, resilience)
 
 
 class _Emitter:
@@ -155,7 +156,7 @@ def generate_kernel(schedule, progress=False, profiler=None):
 
     em = _Emitter()
     em.emit('def __kernel(time_m, time_M, __A, __P, __EX, __SP, __comm, '
-            'np, __T):')
+            'np, __T, __RES=None):')
     em.level += 1
 
     def sec_begin():
@@ -232,8 +233,9 @@ def generate_kernel(schedule, progress=False, profiler=None):
     # -- the time loop ---------------------------------------------------------------
     em.emit('for time in range(time_m, time_M + 1):')
     em.level += 1
-    # fault-injection hook: lets a deterministic FaultPlan kill this
-    # rank at a chosen timestep (a no-op attribute check otherwise)
+    # resilience hook first (a checkpoint due at the kill step must
+    # complete before the kill fires), then the fault-injection hook
+    em.emit('__RES is None or __RES.tick(time)')
     em.emit('__comm is None or __comm.fault_tick(time)')
     body_emitted = False
 

@@ -25,7 +25,13 @@ from ..mpi.sim import RemoteRankError
 from ..profiling import PerformanceSummary, Profiler
 from ..symbolics import preorder
 
-__all__ = ['Operator', 'PerformanceSummary']
+__all__ = ['Operator', 'PerformanceSummary', 'RESILIENCE_KWARGS']
+
+#: keyword arguments of ``apply`` consumed by the resilience machinery
+#: (everything else must name a grid spacing, a Constant or a time bound)
+RESILIENCE_KWARGS = ('recovery', 'checkpoint_every', 'checkpoint_dir',
+                     'checkpoint_keep', 'max_recoveries',
+                     'health_check_every', 'health_max', 'resume')
 
 
 class Operator:
@@ -63,6 +69,7 @@ class Operator:
         self.mpi_mode = self.schedule.mpi_mode
         self.profiler = Profiler(profiling if profiling is not None
                                  else configuration['profiling'])
+        self._progress = bool(progress)
         self.kernel = generate_kernel(self.schedule, progress=progress,
                                       profiler=self.profiler)
         self._bind_sparse_plans()
@@ -119,7 +126,12 @@ class Operator:
     # -- execution -----------------------------------------------------------------
 
     def arguments(self, **kwargs):
-        """Resolve runtime arguments (arrays, scalars, time bounds)."""
+        """Resolve runtime arguments (arrays, scalars, time bounds).
+
+        Unknown keyword arguments raise a :class:`ValueError` listing
+        every accepted name — a typo like ``chekpoint_every`` fails
+        loudly instead of being silently coerced and ignored.
+        """
         params = {}
         for sym, val in self.grid.spacing_map.items():
             params[sym.name] = float(val)
@@ -127,6 +139,15 @@ class Operator:
             params[const.name] = float(const.value)
         if 'dt' not in params:
             params['dt'] = None
+        accepted = set(params) | {'dt', 'time_m', 'time_M'}
+        unknown = sorted(k for k in kwargs if k not in accepted)
+        if unknown:
+            raise ValueError(
+                "unknown argument(s) %s to apply(); accepted arguments: "
+                "%s; resilience options: %s"
+                % (', '.join(map(repr, unknown)),
+                   ', '.join(sorted(accepted)),
+                   ', '.join(RESILIENCE_KWARGS)))
         for key, val in kwargs.items():
             if key in ('time_m', 'time_M'):
                 continue
@@ -168,19 +189,43 @@ class Operator:
         daemon thread leaks.  On success, the commlog validator checks
         message matching (no unmatched sends) and the summary carries
         the transport's robustness counters as ``comm_health``.
+
+        Resilience: the kwargs in :data:`RESILIENCE_KWARGS` (defaulting
+        to the ``configuration`` keys of the same names) turn ``apply``
+        into a supervised loop — periodic CRC-checked checkpoints, NaN/
+        Inf health scans, and on a rank death either a same-world
+        ``restart`` or a ``shrink`` onto the survivors, resuming from
+        the newest valid checkpoint.  ``recovery='abort'`` (the
+        default) preserves the plain behaviour above.
         """
+        controller = self._make_controller(kwargs)
         time_m, time_M, arrays, params = self.arguments(**kwargs)
         comm = self.grid.comm
         prof = self.profiler
         prof.reset()
-        before = {key: ex.counters()
-                  for key, ex in self.kernel.exchangers.items()}
+        start = time_m
+        stash = {}  # exchanger deltas accumulated over failed attempts
+        prepared = False
         tic = _time.perf_counter()
-        try:
-            self.kernel(time_m, time_M, arrays, params, comm, prof.timer)
-        except BaseException as exc:
-            self._abort_run(comm, exc)
-            raise
+        while True:
+            before = {key: ex.counters()
+                      for key, ex in self.kernel.exchangers.items()}
+            try:
+                if controller is not None:
+                    controller.bind(comm, start, time_M)
+                    if not prepared:
+                        start = controller.prepare()
+                        prepared = True
+                self.kernel(start, time_M, arrays, params, comm,
+                            prof.timer, resilience=controller)
+            except BaseException as exc:
+                self._abort_run(comm, exc)
+                if controller is None or not controller.should_recover(exc):
+                    raise
+                self._accumulate_deltas(stash, before)
+                start, arrays, comm = controller.recover(exc)
+                continue
+            break
         elapsed = _time.perf_counter() - tic
         world = getattr(comm, 'world', None)
         if world is not None and world.commlog.enabled:
@@ -188,10 +233,7 @@ class Operator:
             # halo waits drained, profiling collective not yet started)
             # a user-tagged leftover in our mailbox is an unmatched send
             world.commlog.validate(world, comm.rank)
-        deltas = {}
-        for key, ex in self.kernel.exchangers.items():
-            after = ex.counters()
-            deltas[key] = {k: after[k] - before[key][k] for k in after}
+        deltas = self._accumulate_deltas(stash, before)
         points = int(np.prod(self.grid.shape))
         timesteps = max(time_M - time_m + 1, 0)
         nmsg = sum(d['nmessages'] for d in deltas.values())
@@ -215,6 +257,45 @@ class Operator:
                                   level=prof.level, traces=traces,
                                   comm_health=comm_health)
 
+    def _make_controller(self, kwargs):
+        """Pop the resilience kwargs (falling back to ``configuration``)
+        and build the per-apply supervisor, or None for plain runs."""
+        opts = {key: kwargs.pop(key) for key in RESILIENCE_KWARGS
+                if key in kwargs}
+        policy = opts.get('recovery', configuration['recovery'])
+        every = int(opts.get('checkpoint_every',
+                             configuration['checkpoint_every']))
+        hevery = int(opts.get('health_check_every',
+                              configuration['health_check_every']))
+        resume = bool(opts.get('resume', False))
+        if policy == 'abort' and every == 0 and hevery == 0 and not resume:
+            return None
+        from ..resilience import ResilienceController
+        return ResilienceController(
+            self, policy=policy, checkpoint_every=every,
+            checkpoint_dir=opts.get('checkpoint_dir',
+                                    configuration['checkpoint_dir']),
+            checkpoint_keep=opts.get('checkpoint_keep',
+                                     configuration['checkpoint_keep']),
+            max_recoveries=opts.get('max_recoveries',
+                                    configuration['max_recoveries']),
+            health_check_every=hevery,
+            health_max=opts.get('health_max', configuration['health_max']),
+            resume=resume)
+
+    def _accumulate_deltas(self, stash, before):
+        """Fold this attempt's exchanger counter deltas into ``stash``
+        (in place) and return it.  Exchangers are rebuilt on shrink, so
+        per-attempt deltas must be banked before recovery."""
+        for key, ex in self.kernel.exchangers.items():
+            if key not in before:
+                continue
+            after = ex.counters()
+            acc = stash.setdefault(key, dict.fromkeys(after, 0))
+            for k in after:
+                acc[k] += after[k] - before[key][k]
+        return stash
+
     def _abort_run(self, comm, exc):
         """Collective teardown of a failed ``apply``.
 
@@ -232,6 +313,13 @@ class Operator:
                 pass
         world = getattr(comm, 'world', None)
         if world is None:
+            return
+        from ..resilience.health import NumericalHealthError
+        if isinstance(exc, NumericalHealthError):
+            # raised *collectively* right after an allgather: every rank
+            # already carries the same diagnosable error and none is
+            # blocked — failing the world would only race peers that
+            # have not yet stepped past the collective
             return
         originated_here = isinstance(exc, RankKilledError) or \
             not isinstance(exc, RemoteRankError)

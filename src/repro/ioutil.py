@@ -1,0 +1,51 @@
+"""Crash-safe file I/O helpers.
+
+Every artifact the package persists (profile JSON, checkpoint snapshots,
+checkpoint manifests) goes through :func:`atomic_write_bytes` /
+:func:`atomic_write_json`: the payload is written to a uniquely-named
+temporary file in the *same directory* and moved into place with
+``os.replace``, which is atomic on POSIX and Windows.  A reader therefore
+either sees the previous complete version or the new complete version —
+never a truncated file, even if the writer is killed mid-write (which the
+fault injector does on purpose in the test suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ['atomic_write_bytes', 'atomic_write_text', 'atomic_write_json']
+
+
+def atomic_write_bytes(path, data):
+    """Atomically write ``data`` (bytes) to ``path`` via tmp+rename."""
+    path = os.fspath(path)
+    dirname = os.path.dirname(path) or '.'
+    fd, tmp = tempfile.mkstemp(dir=dirname,
+                               prefix='.%s.' % os.path.basename(path),
+                               suffix='.tmp')
+    try:
+        with os.fdopen(fd, 'wb') as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path, text, encoding='utf-8'):
+    """Atomically write ``text`` to ``path`` via tmp+rename."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path, obj, indent=2):
+    """Atomically serialize ``obj`` as JSON to ``path``."""
+    return atomic_write_text(path, json.dumps(obj, indent=indent))

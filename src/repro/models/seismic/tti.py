@@ -118,9 +118,10 @@ class TTIWaveSolver:
                                 opt=self.opt)
         return self._op
 
-    def forward(self, time_M=None, dt=None):
+    def forward(self, time_M=None, dt=None, **apply_kwargs):
         dt = dt if dt is not None else self.model.critical_dt
-        kwargs = {'dt': dt}
+        kwargs = dict(apply_kwargs)
+        kwargs['dt'] = dt
         if time_M is not None:
             kwargs['time_M'] = time_M
         summary = self.op.apply(**kwargs)

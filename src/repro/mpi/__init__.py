@@ -14,14 +14,16 @@ from .sim import (ANY_SOURCE, ANY_TAG, PROC_NULL, CompletedRequest,
 from .faults import FaultPlan, RankKilledError
 from .commlog import (CommLog, CommValidationError, DeadlockError,
                       TagCollisionError, check_tag_spaces)
-from .cart import CartComm, compute_dims, create_cart, neighborhood_offsets
+from .cart import (CartComm, compute_dims, create_cart,
+                   neighborhood_offsets, shrink_dims)
 from .decomposition import Decomposition
 from .distributor import Distributor
 from .data import Data, DimSpec
 from .halo import (BasicExchanger, DiagonalExchanger, FullExchanger,
                    HaloWidths, core_region, make_exchanger,
                    remainder_regions)
-from .routing import PointRouting, bilinear_coefficients, support_points
+from .routing import (PointRouting, bilinear_coefficients,
+                      block_intersections, support_points)
 
 __all__ = [
     'ANY_SOURCE', 'ANY_TAG', 'PROC_NULL', 'CompletedRequest', 'RecvRequest',
@@ -29,8 +31,9 @@ __all__ = [
     'run_parallel', 'serial_comm', 'FaultPlan', 'RankKilledError',
     'CommLog', 'CommValidationError', 'DeadlockError', 'TagCollisionError',
     'check_tag_spaces', 'CartComm', 'compute_dims', 'create_cart',
-    'neighborhood_offsets', 'Decomposition', 'Distributor', 'Data',
-    'DimSpec', 'BasicExchanger', 'DiagonalExchanger', 'FullExchanger',
-    'HaloWidths', 'core_region', 'make_exchanger', 'remainder_regions',
-    'PointRouting', 'bilinear_coefficients', 'support_points',
+    'neighborhood_offsets', 'shrink_dims', 'Decomposition', 'Distributor',
+    'Data', 'DimSpec', 'BasicExchanger', 'DiagonalExchanger',
+    'FullExchanger', 'HaloWidths', 'core_region', 'make_exchanger',
+    'remainder_regions', 'PointRouting', 'bilinear_coefficients',
+    'block_intersections', 'support_points',
 ]

@@ -16,7 +16,35 @@ import numpy as np
 
 from .sim import PROC_NULL, SimComm
 
-__all__ = ['compute_dims', 'CartComm', 'neighborhood_offsets']
+__all__ = ['compute_dims', 'shrink_dims', 'CartComm',
+           'neighborhood_offsets']
+
+
+def shrink_dims(old_dims, nprocs):
+    """Process grid for a world shrunk from ``prod(old_dims)`` to
+    ``nprocs`` ranks (ULFM ``MPI_Comm_shrink``-style recovery).
+
+    Preference order: (1) keep the old topology if it still matches,
+    (2) shrink a single axis if ``nprocs`` factorizes that way (keeps
+    the other axes' decompositions — and thus most checkpoint blocks —
+    in place), (3) fall back to a balanced refactorization.
+    """
+    old_dims = tuple(int(d) for d in old_dims)
+    if int(np.prod(old_dims)) == nprocs:
+        return old_dims
+    best = None
+    for axis in range(len(old_dims)):
+        rest = int(np.prod(old_dims)) // old_dims[axis]
+        if rest and nprocs % rest == 0 and nprocs // rest >= 1:
+            cand = list(old_dims)
+            cand[axis] = nprocs // rest
+            # prefer shrinking the axis that changes the least
+            score = abs(old_dims[axis] - cand[axis])
+            if best is None or score < best[0]:
+                best = (score, tuple(cand))
+    if best is not None:
+        return best[1]
+    return compute_dims(nprocs, len(old_dims))
 
 
 def compute_dims(nprocs, ndims, given=None):

@@ -109,6 +109,19 @@ class CommLog:
                 rec[0] += 1
                 rec[1] += nbytes
 
+    def clear_ledgers(self):
+        """Forget the per-(src, dst, tag) send/recv ledgers.
+
+        Called by :meth:`SimWorld.reset` during coordinated recovery:
+        sends recorded before a failure were wiped from the mailboxes,
+        so keeping their ledger entries would report them as *unmatched*
+        at the end of the resumed run.  The aggregate monotonic counters
+        (``nsends`` etc.) are deliberately preserved.
+        """
+        with self._lock:
+            self._sends.clear()
+            self._recvs.clear()
+
     def unmatched(self):
         """(src, dst, tag, outstanding, section) with sends > recvs."""
         with self._lock:

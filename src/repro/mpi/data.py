@@ -193,6 +193,42 @@ class Data:
     def fill(self, value):
         self._array.fill(value)
 
+    def scatter_block(self, space_ranges, block):
+        """Write a global-coordinate block into this rank's DOMAIN region.
+
+        ``space_ranges`` gives, per *grid* dimension (indexed by
+        ``dist_index``), the global ``(start, stop)`` interval the block
+        covers; rank-local dimensions (e.g. time buffers) must be
+        covered in full.  Only the intersection with this rank's owned
+        subdomain is written (the halo is left untouched — it is
+        reconstructed by the next exchange).  Returns the number of
+        bytes written locally.
+
+        This is the receive side of the shrink-recovery repartitioner:
+        checkpointed blocks expressed in the *old* decomposition's
+        global ranges land here under the *new* decomposition.
+        """
+        block = np.asarray(block)
+        local_key, block_key = [], []
+        for spec, dom in zip(self.specs, self._domain_slices):
+            if spec.dist_index is None:
+                local_key.append(dom)
+                block_key.append(slice(None))
+                continue
+            start, stop = space_ranges[spec.dist_index]
+            dec = self.distributor.decompositions[spec.dist_index]
+            coord = self.distributor.mycoords[spec.dist_index]
+            lo, hi = dec.intersection(coord, start, stop)
+            if lo >= hi:
+                return 0
+            own_lo = dec.offset(coord)
+            left = spec.halo[0]
+            local_key.append(slice(left + lo - own_lo, left + hi - own_lo))
+            block_key.append(slice(lo - start, hi - start))
+        target = self._array[tuple(local_key)]
+        target[...] = block[tuple(block_key)]
+        return int(target.nbytes)
+
     # -- global assembly (for verification / post-processing) ----------------------
 
     def gather(self):

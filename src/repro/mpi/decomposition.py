@@ -54,6 +54,17 @@ class Decomposition:
     def sizes(self):
         return self._sizes
 
+    def intersection(self, part, start, stop):
+        """Intersect the global interval ``[start, stop)`` with ``part``'s
+        owned range.  Returns ``(lo, hi)``; empty when ``lo >= hi``.
+
+        Used by the shrink-recovery repartitioner to route checkpointed
+        blocks (expressed in the *old* decomposition's global ranges)
+        to the ranks of a *new* decomposition.
+        """
+        lo, hi = self.local_range(part)
+        return max(int(start), lo), min(int(stop), hi)
+
     def owner(self, glb_index):
         """The part owning global index ``glb_index``."""
         if not 0 <= glb_index < self.npoints:

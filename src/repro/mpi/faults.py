@@ -203,14 +203,17 @@ class FaultPlan:
         """Decisions over an explicit message list (determinism tests)."""
         return [self.decide(*m) for m in messages]
 
-    def tick(self, rank, timestep):
+    def tick(self, rank, timestep, disarmed=()):
         """Raise :class:`RankKilledError` if ``rank`` dies at ``timestep``.
 
         Called by the generated kernel at the top of every timestep
-        (through ``SimComm.fault_tick``).
+        (through ``SimComm.fault_tick``).  ``disarmed`` is a collection
+        of ``(rank, timestep)`` kills that already fired and were
+        recovered from (see :mod:`repro.resilience`): skipping them lets
+        a checkpoint-restored run replay the killed timestep.
         """
         for r, t in self.kills:
-            if r == rank and t == timestep:
+            if r == rank and t == timestep and (r, t) not in disarmed:
                 raise RankKilledError(rank, timestep)
 
     @property

@@ -13,7 +13,37 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ['PointRouting', 'support_points', 'bilinear_coefficients']
+__all__ = ['PointRouting', 'block_intersections', 'support_points',
+           'bilinear_coefficients']
+
+
+def block_intersections(space_ranges, distributor):
+    """Route a global block to the ranks of a (possibly new) decomposition.
+
+    ``space_ranges`` is a per-grid-dimension list of global ``(start,
+    stop)`` intervals describing a block of grid points — e.g. the
+    domain region one rank of an *old* decomposition wrote into a
+    checkpoint.  Returns ``[(rank, ranges), ...]`` listing every rank of
+    ``distributor`` whose owned subdomain intersects the block, with the
+    per-dimension global ranges of the (non-empty) intersection.
+
+    This is the dense-block counterpart of :class:`PointRouting`: the
+    shrink-recovery repartitioner uses it to scatter checkpointed blocks
+    rank-to-rank after the Cartesian topology changed.
+    """
+    out = []
+    for rank in range(distributor.nprocs):
+        coords = distributor.comm.Get_coords(rank)
+        isect = []
+        for d, (start, stop) in enumerate(space_ranges):
+            lo, hi = distributor.decompositions[d].intersection(
+                coords[d], start, stop)
+            if lo >= hi:
+                break
+            isect.append((lo, hi))
+        else:
+            out.append((rank, tuple(isect)))
+    return out
 
 
 def support_points(coords, origin, spacing, radius=1):

@@ -132,10 +132,16 @@ class SimWorld:
         Scheduling slice of a blocked receive: every slice the receiver
         retries dropped messages (with linear backoff) and probes the
         wait-for graph for deadlock cycles.
+    orig_of : tuple of int, optional
+        For worlds rebuilt by shrink recovery: ``orig_of[new_rank]`` is
+        the rank the thread had in the *original* world.  Fault plans
+        and checkpoint manifests are always expressed in original ranks,
+        so :meth:`SimComm.fault_tick` translates through this table.
+        Defaults to the identity.
     """
 
     def __init__(self, size, faults=None, recv_timeout=None,
-                 max_retries=None, check_interval=0.05):
+                 max_retries=None, check_interval=0.05, orig_of=None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
@@ -166,6 +172,36 @@ class SimWorld:
         self.ndups_injected = [0] * size
         self.nredelivered = [0] * size
         self.nretries = [0] * size
+        # -- resilience state (repro.resilience) ---------------------------
+        #: new rank -> original rank (identity unless shrink-recovered)
+        self.orig_of = tuple(orig_of) if orig_of is not None \
+            else tuple(range(size))
+        if len(self.orig_of) != size:
+            raise ValueError("orig_of must have one entry per rank")
+        #: ranks (in *this* world's numbering) confirmed dead
+        self.dead = set()
+        #: (orig_rank, timestep) kills that already fired — consulted by
+        #: :meth:`SimComm.fault_tick` so a restarted/shrunk run does not
+        #: re-execute the same kill
+        self.disarmed_kills = set()
+        #: (orig_rank, timestep) kills observed this run, not yet disarmed
+        self.pending_kills = set()
+        #: recovery instrumentation (flows into ``comm_health`` and the
+        #: advanced profile JSON; carried over to shrunk worlds)
+        self.recovery_stats = {'recoveries': 0, 'ranks_lost': 0,
+                               'checkpoints_written': 0,
+                               'checkpoints_restored': 0,
+                               'checkpoint_bytes': 0, 'restored_bytes': 0,
+                               'recovery_time': 0.0}
+        #: live communicators (for coordinated sequence resets)
+        import weakref
+        self._comms = weakref.WeakSet()
+        # out-of-band rendezvous state (works on a *failed* world — the
+        # regular transport refuses service once ``fail`` was called)
+        self._rv_cond = threading.Condition()
+        self._rv_epoch = 0
+        self._rv_joined = set()
+        self._rv_result = (True, None)
 
     # -- transport ---------------------------------------------------------
 
@@ -346,9 +382,14 @@ class SimWorld:
 
     def reset(self):
         """Recover a failed world: clear the failure flag, all mailboxes,
-        drop-limbo and wait registrations (instrumentation counters are
-        preserved).  All ranks must be quiescent when one rank calls
-        this (graceful-degradation tests synchronize with a barrier)."""
+        fault-injection drop-limbo, wait registrations, the commlog
+        send/recv ledgers, *and* every live communicator's point-to-point
+        and collective sequence counters (monotonic instrumentation
+        counters are preserved).  Without the ledger/sequence clearing a
+        reused world could replay stale in-flight messages or desync
+        collective tag streams across ranks.  All ranks must be quiescent
+        when one rank calls this (recovery synchronizes through
+        :meth:`coordinate`; graceful-degradation tests use a barrier)."""
         self._failed.clear()
         self._fail_reason = None
         for cond, box, dropped in zip(self._conds, self._boxes,
@@ -357,6 +398,77 @@ class SimWorld:
                 box.clear()
                 dropped.clear()
         self.commlog.clear_all_waits()
+        self.commlog.clear_ledgers()
+        for comm in list(self._comms):
+            comm.reset_sequences()
+
+    # -- resilience --------------------------------------------------------
+
+    def alive_ranks(self):
+        """Sorted ranks (this world's numbering) not marked dead."""
+        return [r for r in range(self.size) if r not in self.dead]
+
+    def mark_dead(self, rank):
+        """Declare ``rank`` dead (it will never rejoin this world) and
+        wake any rendezvous waiting on it."""
+        self.dead.add(rank)
+        with self._rv_cond:
+            self._rv_cond.notify_all()
+
+    def coordinate(self, rank, fn=None, timeout=None):
+        """Out-of-band rendezvous of all *alive* ranks.
+
+        Every alive rank must call this (SPMD).  Once all have joined,
+        the lowest alive rank runs ``fn()`` (with no locks held) and its
+        return value — or exception — is propagated to every
+        participant.  With ``fn=None`` this is a fault-tolerant barrier.
+
+        Unlike the regular transport this keeps working after
+        :meth:`fail` was called, which is exactly when the recovery
+        driver needs it; the alive set is re-evaluated every scheduling
+        slice so a concurrent :meth:`mark_dead` unblocks the rendezvous.
+        """
+        timeout = self.recv_timeout if timeout is None else timeout
+        deadline = _time.monotonic() + timeout
+        cond = self._rv_cond
+        with cond:
+            epoch = self._rv_epoch
+            self._rv_joined.add(rank)
+            cond.notify_all()
+            while True:
+                if self._rv_epoch != epoch:
+                    ok, value = self._rv_result
+                    if not ok:
+                        raise value
+                    return value
+                alive = self.alive_ranks()
+                if rank not in alive:
+                    raise RemoteRankError(
+                        "dead rank %d joined a rendezvous" % rank)
+                if set(alive) <= self._rv_joined and rank == alive[0]:
+                    break  # all joined: this rank is the coordinator
+                if _time.monotonic() > deadline:
+                    self._rv_joined.discard(rank)
+                    raise RemoteRankError(
+                        "recovery rendezvous timed out on rank %d "
+                        "(joined: %s, alive: %s)"
+                        % (rank, sorted(self._rv_joined), alive))
+                cond.wait(timeout=self.check_interval)
+        # coordinator path — run fn without holding the rendezvous lock
+        # (fn typically takes per-rank mailbox conditions in reset())
+        try:
+            result = (True, fn() if fn is not None else None)
+        except BaseException as exc:  # noqa: BLE001 - propagate to peers
+            result = (False, exc)
+        with cond:
+            self._rv_result = result
+            self._rv_joined.clear()
+            self._rv_epoch += 1
+            cond.notify_all()
+        ok, value = result
+        if not ok:
+            raise value
+        return value
 
     # -- robustness instrumentation -----------------------------------------
 
@@ -367,6 +479,7 @@ class SimWorld:
                'redelivered': sum(self.nredelivered),
                'retries': sum(self.nretries)}
         out.update(self.commlog.counters())
+        out.update(self.recovery_stats)
         return out
 
 
@@ -451,13 +564,38 @@ class SimComm:
         #: label attached to outgoing messages (set by exchangers so the
         #: commlog can attribute traffic to kernel sections)
         self.section = None
+        world._comms.add(self)
+
+    def reset_sequences(self):
+        """Restart point-to-point and collective sequence counters.
+
+        Called (on every live communicator) by :meth:`SimWorld.reset`
+        during coordinated recovery so all ranks resume with aligned
+        message streams.  Deliberately does *not* reset the ``Dup``
+        counter: derived-communicator ids must stay unique for the
+        lifetime of the world.
+        """
+        self._pt_seq.clear()
+        self._coll_seq = itertools.count()
 
     def fault_tick(self, timestep):
         """Fault-injection hook called by generated kernels at the top
-        of every timestep; kills this rank if the active plan says so."""
+        of every timestep; kills this rank if the active plan says so.
+
+        Kill coordinates are expressed in *original* ranks (translated
+        through ``world.orig_of`` after a shrink) and kills already
+        fired-and-recovered (``world.disarmed_kills``) are skipped so a
+        resumed run makes progress past the fault.
+        """
         plan = self.world.faults
         if plan is not None:
-            plan.tick(self.rank, timestep)
+            orig = self.world.orig_of[self.rank]
+            try:
+                plan.tick(orig, timestep,
+                          disarmed=self.world.disarmed_kills)
+            except BaseException:
+                self.world.pending_kills.add((orig, timestep))
+                raise
 
     # -- introspection ---------------------------------------------------------
 

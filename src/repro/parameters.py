@@ -114,6 +114,41 @@ class Configuration(MutableMapping):
             converter=self._convert_nonneg_int,
             description='bounded redelivery attempts for fault-dropped '
                         'messages per blocked receive'))
+        self.register(Parameter(
+            'recovery', default='abort', env='REPRO_RECOVERY',
+            accepted=('abort', 'restart', 'shrink'),
+            description='what Operator.apply does when a rank dies: '
+                        'abort (propagate, today\'s behaviour), restart '
+                        '(same-world restore from the newest valid '
+                        'checkpoint), or shrink (drop the dead rank, '
+                        'redistribute onto the survivors)'))
+        self.register(Parameter(
+            'checkpoint_every', default=0, env='REPRO_CHECKPOINT_EVERY',
+            converter=self._convert_nonneg_int,
+            description='checkpoint cadence in timesteps (0: only the '
+                        'baseline snapshot recovery policies need)'))
+        self.register(Parameter(
+            'checkpoint_dir', default='.repro_checkpoints',
+            env='REPRO_CHECKPOINT_DIR', converter=str,
+            description='checkpoint directory shared by all ranks'))
+        self.register(Parameter(
+            'checkpoint_keep', default=2, env='REPRO_CHECKPOINT_KEEP',
+            converter=self._convert_positive_int,
+            description='number of most-recent checkpoints retained'))
+        self.register(Parameter(
+            'max_recoveries', default=2, env='REPRO_MAX_RECOVERIES',
+            converter=self._convert_nonneg_int,
+            description='upper bound on recovery attempts per apply'))
+        self.register(Parameter(
+            'health_check_every', default=0,
+            env='REPRO_HEALTH_CHECK_EVERY',
+            converter=self._convert_nonneg_int,
+            description='NaN/Inf/blowup scan cadence in timesteps '
+                        '(0 disables)'))
+        self.register(Parameter(
+            'health_max', default=1e12, env='REPRO_HEALTH_MAX',
+            converter=self._convert_positive_float,
+            description='amplitude bound for the blowup health check'))
 
         for key, spec in self._registry.items():
             value = spec.default
@@ -165,6 +200,13 @@ class Configuration(MutableMapping):
         value = int(value)
         if value < 0:
             raise ValueError("expected a non-negative integer")
+        return value
+
+    @staticmethod
+    def _convert_positive_int(value):
+        value = int(value)
+        if value <= 0:
+            raise ValueError("expected a positive integer")
         return value
 
     # -- registry ---------------------------------------------------------------

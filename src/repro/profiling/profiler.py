@@ -72,7 +72,7 @@ class SectionMeta:
     def __init__(self, name, kind, points=0, flops_per_point=0,
                  traffic_per_point=0, exchanger_keys=(), sparse_npoints=0):
         self.name = name
-        self.kind = kind  # 'compute' | 'halo' | 'wait' | 'sparse'
+        self.kind = kind  # 'compute' | 'halo' | 'wait' | 'sparse' | 'resilience'
         self.points = int(points)
         self.flops_per_point = flops_per_point
         self.traffic_per_point = traffic_per_point
@@ -96,6 +96,8 @@ class Profiler:
             if level != 'off' else None
         #: SectionMeta in emission order, keyed by name
         self.sections = {}
+        #: direct byte charges (checkpoint/restore payloads) by section
+        self.section_bytes = {}
 
     @property
     def enabled(self):
@@ -113,6 +115,13 @@ class Profiler:
     def reset(self):
         if self.timer is not None:
             self.timer.reset()
+        self.section_bytes.clear()
+
+    def record_bytes(self, name, nbytes):
+        """Charge payload bytes to a section directly (used by sections
+        that move data outside the exchangers, e.g. checkpoint I/O)."""
+        self.section_bytes[name] = self.section_bytes.get(name, 0) \
+            + int(nbytes)
 
     # -- aggregation ------------------------------------------------------------
 
@@ -132,6 +141,7 @@ class Profiler:
                 nmsg += delta['nmessages']
                 nbytes += delta['nbytes_sent'] + delta['nbytes_recv']
                 wait += delta['wait_time']
+            nbytes += self.section_bytes.get(name, 0)
             out[name] = {'time': time, 'ncalls': ncalls,
                          'nmessages': nmsg, 'bytes': nbytes,
                          'wait_time': wait}

@@ -158,9 +158,10 @@ class PerformanceSummary(Mapping):
         }
 
     def save_json(self, path):
-        """Write the advanced-mode JSON artifact."""
-        with open(path, 'w') as f:
-            json.dump(self.to_dict(), f, indent=2)
+        """Write the advanced-mode JSON artifact (atomically: a reader
+        or a crash mid-write never sees a truncated file)."""
+        from ..ioutil import atomic_write_json
+        atomic_write_json(path, self.to_dict())
         return path
 
     # -- rendering ----------------------------------------------------------------

@@ -1,0 +1,23 @@
+"""Fault tolerance for the generated solvers.
+
+Three cooperating pieces, wired into ``Operator.apply``:
+
+* :mod:`.checkpoint` — distributed, versioned, CRC-checked snapshots
+  (one npz per rank, manifest written last as the completion marker);
+* :mod:`.recovery` — the ``restart`` (same-world) and ``shrink``
+  (ULFM-style drop-the-dead-rank) recovery drivers;
+* :mod:`.health` — periodic NaN/Inf/amplitude scans raising a
+  diagnosable :class:`NumericalHealthError`;
+* :mod:`.controller` — the per-apply supervisor tying them together.
+"""
+
+from .checkpoint import Checkpointer, CheckpointError
+from .controller import RECOVERY_POLICIES, ResilienceController
+from .health import HealthGuard, NumericalHealthError
+from .recovery import perform_restart, perform_shrink, repartition_restore
+
+__all__ = [
+    'Checkpointer', 'CheckpointError', 'RECOVERY_POLICIES',
+    'ResilienceController', 'HealthGuard', 'NumericalHealthError',
+    'perform_restart', 'perform_shrink', 'repartition_restore',
+]

@@ -1,0 +1,217 @@
+"""The ResilienceController: one object supervising one ``apply``.
+
+It owns the :class:`~repro.resilience.checkpoint.Checkpointer` and the
+:class:`~repro.resilience.health.HealthGuard`, decides *when* inside the
+timestep loop to snapshot or scan (the generated kernel calls
+:meth:`tick` once per step, before the fault hook — so a checkpoint due
+at the kill step completes before the kill fires), and implements the
+recovery policy consulted by the supervised ``Operator.apply`` loop:
+
+``abort``
+    never recover (today's behaviour — the exception propagates);
+``restart``
+    same-world restore from the newest valid checkpoint;
+``shrink``
+    drop the dead rank, rebuild the world on the survivors and
+    repartition the checkpoint onto the new decomposition.
+
+When profiling is on, checkpoint/restore/healthcheck appear as named
+sections of kind ``resilience`` in the :class:`PerformanceSummary`, with
+both time and payload bytes.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from ..mpi.faults import RankKilledError
+from ..mpi.sim import RemoteRankError
+from ..profiling import SectionMeta
+from .checkpoint import Checkpointer
+from .health import HealthGuard
+
+__all__ = ['RECOVERY_POLICIES', 'ResilienceController']
+
+RECOVERY_POLICIES = ('abort', 'restart', 'shrink')
+
+
+class ResilienceController:
+    """Checkpoint cadence + health scans + the recovery policy.
+
+    One instance per rank per ``apply`` (like the kernel invocation it
+    supervises).  All parameters must agree across ranks — saves,
+    restores and health verdicts are collectives.
+
+    Parameters
+    ----------
+    op : Operator
+        The operator being supervised (gives access to the schedule,
+        grid, profiler and kernel for rebuilds).
+    policy : str
+        'abort' | 'restart' | 'shrink'.
+    checkpoint_every : int
+        Snapshot cadence in timesteps (0: only the initial baseline
+        checkpoint is taken, and only if a recovery policy or ``resume``
+        needs one).
+    checkpoint_dir : str
+        Snapshot directory shared by all ranks.
+    checkpoint_keep : int
+        Retained checkpoint versions.
+    max_recoveries : int
+        Upper bound on recovery attempts per ``apply``.
+    health_check_every : int
+        NaN/Inf/blowup scan cadence (0 disables).
+    health_max : float
+        Amplitude bound for the blowup check.
+    resume : bool
+        Start from the newest valid checkpoint in ``checkpoint_dir``
+        instead of the caller's ``time_m``.
+    """
+
+    def __init__(self, op, policy='abort', checkpoint_every=0,
+                 checkpoint_dir='.repro_checkpoints', checkpoint_keep=2,
+                 max_recoveries=2, health_check_every=0, health_max=1e12,
+                 resume=False):
+        if policy not in RECOVERY_POLICIES:
+            raise ValueError("unknown recovery policy %r (accepted: %s)"
+                             % (policy, ', '.join(RECOVERY_POLICIES)))
+        self.op = op
+        self.policy = policy
+        self.every = int(checkpoint_every)
+        self.max_recoveries = int(max_recoveries)
+        self.resume = bool(resume)
+        self.nrecoveries = 0
+        self.checkpointing = (self.every > 0
+                              or policy in ('restart', 'shrink')
+                              or self.resume)
+        self.checkpointer = Checkpointer(checkpoint_dir,
+                                         keep=checkpoint_keep) \
+            if self.checkpointing else None
+        self.health = HealthGuard(health_check_every, health_max) \
+            if int(health_check_every) > 0 else None
+
+        prof = op.profiler
+        if prof.enabled:
+            # every rank registers the same section set (summarize is a
+            # collective over a shared section list)
+            if self.checkpointing:
+                prof.register(SectionMeta('checkpoint', 'resilience'))
+            if self.policy in ('restart', 'shrink') or self.resume:
+                prof.register(SectionMeta('restore', 'resilience'))
+            if self.health is not None:
+                prof.register(SectionMeta('healthcheck', 'resilience'))
+
+        # bound by bind()
+        self.comm = None
+        self.t0 = 0
+        self.time_M = 0
+
+    # -- run wiring -------------------------------------------------------
+
+    @property
+    def world(self):
+        return getattr(self.comm, 'world', None)
+
+    def bind(self, comm, t0, time_M):
+        """Attach the communicator and time bounds of this attempt."""
+        self.comm = comm
+        self.t0 = int(t0)
+        self.time_M = int(time_M)
+
+    def prepare(self):
+        """Pre-loop work: resume from disk, or write the baseline
+        checkpoint every recovery policy needs.  Returns the first
+        timestep to execute (collective)."""
+        if self.resume:
+            step, manifest = self.checkpointer.latest_valid()
+            tic = _time.perf_counter()
+            nbytes = self.checkpointer.restore(
+                step, manifest, self.comm, self.world,
+                self.op.schedule.functions,
+                self.op.schedule.sparse_functions)
+            self._charge('restore', tic, nbytes, step)
+            self.t0 = step
+            return step
+        if self.checkpointing:
+            self._save(self.t0)
+        return self.t0
+
+    # -- in-loop hook (called by the generated kernel) --------------------
+
+    def tick(self, time):
+        """Per-timestep duties: health scan first (catch corruption
+        before snapshotting it), then the periodic checkpoint."""
+        if self.health is not None and self.health.due(time, self.t0):
+            tic = _time.perf_counter()
+            self.health.check(self.comm, self.world, self._health_fields(),
+                              time)
+            self._charge('healthcheck', tic, 0, time)
+        if self.every > 0 and time > self.t0 \
+                and (time - self.t0) % self.every == 0:
+            self._save(time)
+
+    def _health_fields(self):
+        fields = [f for f in self.op.schedule.functions
+                  if getattr(f, 'is_TimeFunction', False)]
+        return fields or list(self.op.schedule.functions)
+
+    def _save(self, step):
+        tic = _time.perf_counter()
+        nbytes = self.checkpointer.save(
+            step, self.comm, self.world, self.op.schedule.functions,
+            self.op.schedule.sparse_functions, self.op.grid.distributor)
+        self._charge('checkpoint', tic, nbytes, step)
+
+    def _charge(self, section, tic, nbytes, step):
+        prof = self.op.profiler
+        if prof.enabled:
+            prof.timer.add(section, tic, step)
+            if nbytes:
+                prof.record_bytes(section, nbytes)
+
+    # -- recovery ---------------------------------------------------------
+
+    def should_recover(self, exc):
+        """Policy decision for an exception that escaped the kernel.
+
+        Called on *every* rank.  Under ``shrink`` the killed rank itself
+        returns False after marking itself dead — it leaves the job and
+        re-raises while the survivors recover without it.
+        """
+        if self.policy not in ('restart', 'shrink'):
+            return False
+        if not isinstance(exc, RemoteRankError):
+            return False  # e.g. NumericalHealthError: never auto-replayed
+        if self.policy == 'shrink' and isinstance(exc, RankKilledError):
+            world = self.world
+            if world is not None and \
+                    exc.rank == world.orig_of[self.comm.rank]:
+                world.mark_dead(self.comm.rank)
+                return False
+        return self.nrecoveries < self.max_recoveries
+
+    def recover(self, exc):
+        """Rebuild state from the newest valid checkpoint (collective
+        over the surviving ranks).  Returns ``(resume_step, arrays,
+        comm)`` for the next kernel attempt."""
+        from .recovery import perform_restart, perform_shrink
+
+        self.nrecoveries += 1
+        _time.sleep(min(0.05 * self.nrecoveries, 0.5))  # backoff
+        tic = _time.perf_counter()
+        if self.policy == 'restart':
+            step, nbytes = perform_restart(self.op, self.comm,
+                                           self.checkpointer)
+        else:
+            new_comm, step, nbytes = perform_shrink(self.op, self.comm,
+                                                    self.checkpointer)
+            self.comm = new_comm
+        elapsed = _time.perf_counter() - tic
+        self._charge('restore', tic, nbytes, step)
+        world = self.world
+        if world is not None and self.comm.rank == 0:
+            world.recovery_stats['recovery_time'] += elapsed
+        self.t0 = step
+        arrays = {f.name: f.data.with_halo
+                  for f in self.op.schedule.functions}
+        return step, arrays, self.comm

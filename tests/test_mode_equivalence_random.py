@@ -16,6 +16,12 @@ variable to explore a fresh slice of the property space::
 Each case runs a few iterations of exchange + stencil update (with a
 diagonal term, so corner halos matter) and cross-checks the gathered
 global field across all three modes and against a single-rank run.
+
+The same property extends to fault recovery: killing a rank mid-run and
+restarting from a checkpoint must leave every sampled case bit-identical
+to the serial reference.  A small default subset of the cases runs that
+way on every invocation; set ``REPRO_RANDOM_RECOVERY=1`` to put *every*
+sampled case through the mid-run kill + restart wringer.
 """
 
 import os
@@ -23,12 +29,15 @@ import os
 import numpy as np
 import pytest
 
+from repro import (Eq, Grid, Operator, TimeFunction, configuration, solve)
 from repro.mpi import Data, DimSpec, Distributor, make_exchanger, \
     run_parallel
 
 SEED = int(os.environ.get('REPRO_RANDOM_SEED', '0'))
 NCASES = int(os.environ.get('REPRO_RANDOM_CASES', '8'))
 MODES = ('basic', 'diagonal', 'full')
+ALL_RECOVERY = os.environ.get('REPRO_RANDOM_RECOVERY', '0') \
+    .strip().lower() not in ('0', '', 'false', 'no', 'off')
 
 
 def _random_case(i):
@@ -126,6 +135,48 @@ def test_modes_and_rank_counts_agree(case):
         out = _run_case(case, mode, case['ranks'])
         assert out.shape == reference.shape, (case, mode)
         assert np.array_equal(out, reference), (case, mode)
+
+
+# -- the same property under mid-run kill + checkpoint/restart ---------------
+
+RECOVERY_CASES = CASES if ALL_RECOVERY else CASES[:2]
+
+
+def _operator_job(comm, case, mode, **apply_kwargs):
+    """Diffusion on the case's grid/topology; returns the global field."""
+    shape = case['shape']
+    grid = Grid(shape=shape, extent=tuple(float(s - 1) for s in shape),
+                comm=comm,
+                topology=case['topology'] if comm is not None else None)
+    u = TimeFunction(name='u', grid=grid, space_order=2)
+    u.data[0] = _initial(shape)
+    eq = Eq(u.dt, u.laplace)
+    op = Operator([Eq(u.forward, solve(eq, u.forward))],
+                  mpi=mode if comm is not None else None)
+    op.apply(time_M=case['steps'] + 2, dt=0.002, **apply_kwargs)
+    return u.data.gather()
+
+
+@pytest.mark.parametrize('case', RECOVERY_CASES,
+                         ids=['case%d' % i
+                              for i in range(len(RECOVERY_CASES))])
+def test_mid_run_kill_restart_matches_serial(case, tmp_path):
+    """Every sampled configuration survives a rank kill at step 2 with
+    restart recovery, bit-identically, under all three modes."""
+    reference = _operator_job(None, case, 'basic')
+    saved = configuration['faults']
+    configuration['faults'] = 'seed=11,kill=1@2'
+    try:
+        for mode in MODES:
+            out = run_parallel(
+                lambda c: _operator_job(
+                    c, case, mode, recovery='restart', checkpoint_every=2,
+                    checkpoint_dir=str(tmp_path / mode)),
+                case['ranks'])
+            for field in out:
+                assert np.array_equal(field, reference), (case, mode)
+    finally:
+        configuration['faults'] = saved
 
 
 @pytest.mark.parametrize('mode', MODES)
