@@ -1,0 +1,93 @@
+"""Static verification and lint for generated MPI stencil schedules.
+
+The compiler derives halo exchanges from data-dependence analysis and
+then optimizes them aggressively (merges, "data not dirty" drops,
+preamble hoisting, begin/wait splitting) — and the same analysis that
+builds the :class:`~repro.ir.clusters.HaloRequirement`\\ s also emits the
+:class:`~repro.ir.schedule.HaloStep`\\ s, so a dependence or scheduling
+bug would silently produce wrong answers at scale.  This package is the
+independent check: it re-derives every communication requirement from
+first principles (:mod:`.footprint`, straight from the raw access
+offsets) and *proves* the emitted schedule covers them.
+
+Passes (each a pure function ``Schedule -> [Diagnostic]``):
+
+* :mod:`.halo_coverage` — missing/undersized/stale/redundant exchanges
+  and full-mode overlap violations (``REPRO-E101..E104``, ``W201/W202``);
+* :mod:`.races`         — loop-carried read/write and write/write races
+  in parallel compute steps (``REPRO-E111/E112``);
+* :mod:`.lint`          — out-of-bounds accesses, unused temporaries,
+  dead writes (``REPRO-E121``, ``W211/W212``).
+
+Entry points: :func:`analyze_schedule` collects every diagnostic into an
+:class:`AnalysisReport`; :func:`verify_schedule` is the compile-time gate
+(``opt='verify'`` / ``REPRO_OPT=verify``) raising :class:`AnalysisError`
+on any *error*-severity finding.  The dynamic complement — the
+poisoned-halo :mod:`.sanitizer` — catches at runtime what static
+analysis cannot see (actual transport behavior).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .diagnostics import (CODES, ERROR, WARNING, AnalysisError,
+                          AnalysisReport, Diagnostic)
+from .footprint import (Key, Widths, covers, cluster_reads, cluster_writes,
+                        read_footprints, union_widths, widths_max)
+from .halo_coverage import check_halo_coverage
+from .lint import check_bounds, check_dead_code
+from .races import check_races
+from .render import (describe_key, format_widths, render_report,
+                     render_schedule)
+from .sanitizer import (HaloPoisonError, HaloSanitizer, make_sanitizer,
+                        poison_boxes)
+
+__all__ = [
+    'AnalysisError', 'AnalysisReport', 'Diagnostic', 'CODES', 'ERROR',
+    'WARNING',
+    'Key', 'Widths', 'covers', 'cluster_reads', 'cluster_writes',
+    'read_footprints', 'union_widths', 'widths_max',
+    'check_halo_coverage', 'check_races', 'check_bounds',
+    'check_dead_code',
+    'describe_key', 'format_widths', 'render_report', 'render_schedule',
+    'HaloPoisonError', 'HaloSanitizer', 'make_sanitizer', 'poison_boxes',
+    'analyze_schedule', 'verify_schedule',
+]
+
+#: the pass pipeline, in execution (and report) order
+PASSES = (check_halo_coverage, check_races, check_bounds, check_dead_code)
+
+
+def analyze_schedule(schedule: Any, kernel: Any = None,
+                     profiler: Any = None) -> AnalysisReport:
+    """Run every static pass over ``schedule``.
+
+    ``kernel`` (optional, a compiled ``PyKernel``) enriches the report
+    with generated-source excerpts; ``profiler`` (optional) records the
+    analysis wall time as a build-time entry.
+    """
+    from time import perf_counter
+    tic = perf_counter()
+    report = AnalysisReport(schedule=schedule, kernel=kernel)
+    for check in PASSES:
+        report.extend(check(schedule))
+    if profiler is not None:
+        try:
+            profiler.record_build_time('analysis', perf_counter() - tic)
+        except AttributeError:
+            pass
+    return report
+
+
+def verify_schedule(schedule: Any, kernel: Any = None,
+                    profiler: Any = None) -> AnalysisReport:
+    """The compile-time gate: analyze and raise on error diagnostics.
+
+    Warnings do not fail the build — they are kept in the returned
+    report (``Operator.analysis``) for inspection.
+    """
+    report = analyze_schedule(schedule, kernel=kernel, profiler=profiler)
+    if report.errors:
+        raise AnalysisError(report)
+    return report

@@ -1,0 +1,123 @@
+"""Bounds and dead-code lint (pass 3 of the static verifier).
+
+* ``REPRO-E121`` — an access offset exceeds the function's *allocated*
+  ghost extent (:attr:`DiscreteFunction.halo`, i.e. space order plus
+  padding).  The exchanged halo widths are derived from the stencil, so
+  the compiler can never under-allocate for its own accesses — but a
+  hand-built schedule, a buggy rewrite, or an explicitly shrunk
+  ``space_order`` can, and the generated code would then read (or write)
+  a neighbor's DOMAIN or unallocated memory.
+* ``REPRO-W211`` — an optimizer temporary (hoisted loop-invariant scalar
+  or CSE temp) that nothing ever reads.
+* ``REPRO-W212`` — a dead write: an equation's stored value is
+  overwritten by a later equation of the same cluster before any
+  equation in between reads that buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from ..symbolics import Temp, preorder
+from .diagnostics import Diagnostic
+from .footprint import Key
+from .render import describe_key
+
+__all__ = ['check_bounds', 'check_dead_code']
+
+
+def _all_accesses(cluster: Any) -> List[Any]:
+    from .footprint import cluster_reads, cluster_writes
+    return cluster_writes(cluster) + cluster_reads(cluster)
+
+
+def check_bounds(schedule: Any) -> List[Diagnostic]:
+    """Prove every cluster access stays within allocated ghost extents."""
+    out: List[Diagnostic] = []
+    dims = schedule.grid.dimensions
+    for si, step in enumerate(schedule.steps):
+        if not step.is_compute:
+            continue
+        seen: Set[Tuple[str, Tuple[int, ...], bool]] = set()
+        for acc in _all_accesses(step.cluster):
+            sig = (acc.function.name, acc.offsets, acc.is_write)
+            if sig in seen:
+                continue
+            seen.add(sig)
+            halo = acc.function.halo
+            for d, off in enumerate(acc.offsets):
+                left, right = halo[d]
+                bound = left if off < 0 else right
+                if abs(off) > bound:
+                    out.append(Diagnostic(
+                        'REPRO-E121',
+                        '%s of %s at offset %+d along %s exceeds the '
+                        'allocated halo extent %d (space_order + padding)'
+                        % ('write' if acc.is_write else 'read',
+                           acc.function.name, off, dims[d].name, bound),
+                        step_index=si))
+    return out
+
+
+def _temps_in(expr: Any) -> Set[Temp]:
+    return {n for n in preorder(expr) if isinstance(n, Temp)}
+
+
+def check_dead_code(schedule: Any) -> List[Diagnostic]:
+    """Unused temporaries (W211) and dead grid writes (W212)."""
+    out: List[Diagnostic] = []
+
+    # -- every Temp ever read, across the whole schedule ---------------------
+    used: Set[Temp] = set()
+    for _, rhs in schedule.scalar_assignments:
+        used |= _temps_in(rhs)
+    for step in schedule.steps:
+        if step.is_compute:
+            for _, rhs in step.cluster.temps:
+                used |= _temps_in(rhs)
+            for eq in step.cluster.eqs:
+                used |= _temps_in(eq.rhs)
+        elif step.is_sparse:
+            used |= _temps_in(step.expr)
+
+    for temp, _ in schedule.scalar_assignments:
+        if temp not in used:
+            out.append(Diagnostic(
+                'REPRO-W211',
+                'hoisted loop-invariant scalar %s is never read'
+                % (temp,), where='preamble'))
+    seen_clusters = set()
+    for si, step in enumerate(schedule.steps):
+        if not step.is_compute or id(step.cluster) in seen_clusters:
+            continue  # CORE/REMAINDER share the cluster: lint it once
+        seen_clusters.add(id(step.cluster))
+        for temp, _ in step.cluster.temps:
+            if temp not in used:
+                out.append(Diagnostic(
+                    'REPRO-W211',
+                    'CSE temporary %s is never read' % (temp,),
+                    step_index=si))
+
+        # -- dead writes within the cluster ------------------------------
+        # Temps evaluate before any equation stores, so only later
+        # equations can consume a write; a same-cell overwrite with no
+        # intervening read of that buffer makes the earlier store dead.
+        eqs = step.cluster.eqs
+        sigs: Dict[Tuple[Key, Tuple[int, ...]], int] = {}
+        for j, eq in enumerate(eqs):
+            sig = (eq.write.key, eq.write.offsets)
+            i = sigs.get(sig)
+            if i is not None:
+                read_between = any(
+                    acc.key == eq.write.key
+                    for k in range(i + 1, j + 1)
+                    for acc in eqs[k].reads)
+                if not read_between:
+                    out.append(Diagnostic(
+                        'REPRO-W212',
+                        'write of %s by equation %d is dead: equation %d '
+                        'overwrites the same cells before any read'
+                        % (describe_key(eq.write.key), i, j),
+                        step_index=si))
+            sigs[sig] = j
+    return out

@@ -1,0 +1,152 @@
+"""Pretty-printing for the static verifier.
+
+Three rendering layers, all shared with the rest of the toolchain:
+
+* tiny formatters (:func:`describe_key`, :func:`format_widths`) used by
+  every analysis pass to phrase its diagnostics consistently;
+* :func:`render_schedule` — the human-readable ``Schedule`` dump behind
+  :meth:`Schedule.dump` and the CLI's ``--dump-schedule``, annotating
+  every step with its profiling section name and per-dimension halo
+  depths;
+* :func:`render_report` — the full diagnostic report, with schedule-step
+  excerpts and (when a :class:`~repro.codegen.pybackend.PyKernel` is
+  attached) the matching line range of the generated kernel source.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+__all__ = ['describe_key', 'format_widths', 'render_schedule',
+           'render_report']
+
+
+def describe_key(key: Tuple[str, Optional[int]]) -> str:
+    """``('u', 1)`` -> ``'u[t+1]'``; ``('m', None)`` -> ``'m'``."""
+    name, tshift = key
+    if tshift is None:
+        return name
+    if tshift == 0:
+        return '%s[t]' % name
+    return '%s[t%+d]' % (name, tshift)
+
+
+def format_widths(widths: Sequence[Tuple[int, int]],
+                  dims: Sequence[Any]) -> str:
+    """``((1, 1), (0, 2))`` with dims (x, y) -> ``'(x: 1/1, y: 0/2)'``.
+
+    Left/right depths are separated by a slash; dimensions beyond the
+    named grid dimensions (never the case in practice) fall back to
+    positional ``d<i>`` names.
+    """
+    parts = []
+    for i, (l, r) in enumerate(widths):
+        name = dims[i].name if i < len(dims) else 'd%d' % i
+        parts.append('%s: %d/%d' % (name, l, r))
+    return '(%s)' % ', '.join(parts)
+
+
+def _widths_of(req: Any) -> Tuple[Tuple[int, int], ...]:
+    return tuple((int(l), int(r)) for l, r in req.widths)
+
+
+def _describe_exchange(req: Any, dims: Sequence[Any]) -> str:
+    return '%s %s' % (describe_key((req.function.name, req.time_shift)),
+                      format_widths(_widths_of(req), dims))
+
+
+def render_schedule(schedule: Any) -> str:
+    """The pretty ``Schedule`` dump (one line per step).
+
+    Sections are named exactly as the profiler names them
+    (:func:`~repro.profiling.sections.assign_section_names`), so a dump
+    can be read against a performance summary line by line.
+    """
+    from ..profiling import assign_section_names
+    dims = schedule.grid.dimensions
+    pre_names, step_names = assign_section_names(schedule)
+    lines: List[str] = []
+    mode = schedule.mpi_mode or 'off'
+    lines.append('Schedule <mpi=%s, %d preamble exchange(s), %d step(s)>'
+                 % (mode, len(schedule.preamble_halo), len(schedule.steps)))
+    if schedule.scalar_assignments:
+        lines.append('  preamble: %d loop-invariant scalar(s): %s'
+                     % (len(schedule.scalar_assignments),
+                        ', '.join(str(t) for t, _ in
+                                  schedule.scalar_assignments)))
+    for name, req in zip(pre_names, schedule.preamble_halo):
+        lines.append('  preamble: %-12s halo(update)  %s  [hoisted]'
+                     % (name, _describe_exchange(req, dims)))
+    lines.append('  time loop:')
+    for si, (name, step) in enumerate(zip(step_names, schedule.steps)):
+        prefix = '    [%2d] %-12s' % (si, name)
+        if step.is_halo:
+            ex = ', '.join(_describe_exchange(r, dims)
+                           for r in step.exchanges)
+            lines.append('%s halo(%s)  %s' % (prefix, step.kind, ex))
+        elif step.is_compute:
+            writes = ', '.join(describe_key(k)
+                               for k in sorted(step.cluster.write_keys))
+            par = getattr(step, 'parallel', True)
+            lines.append('%s compute(%s%s)  %d eq(s), writes %s'
+                         % (prefix, step.region,
+                            '' if par else ', sequential',
+                            len(step.cluster.eqs), writes))
+        else:
+            target = (describe_key(step.field_access.key)
+                      if step.field_access is not None
+                      else step.op.sparse.name)
+            lines.append('%s sparse(%s)  %s -> %s'
+                         % (prefix, step.kind, step.op.sparse.name, target))
+    return '\n'.join(lines)
+
+
+def _step_excerpt(schedule: Any, step_index: int) -> List[str]:
+    """The schedule-dump line(s) describing one step."""
+    if schedule is None:
+        return []
+    try:
+        dump = render_schedule(schedule).splitlines()
+    except Exception:
+        return []
+    marker = '[%2d]' % step_index
+    return ['  | ' + ln.strip() for ln in dump if marker in ln]
+
+
+def _source_excerpt(kernel: Any, step_index: int) -> List[str]:
+    """Generated-source lines of one schedule step, if the kernel keeps a
+    step -> line-range map (:attr:`PyKernel.step_lines`)."""
+    step_lines = getattr(kernel, 'step_lines', None)
+    src = getattr(kernel, 'source', None)
+    if not step_lines or src is None:
+        return []
+    rng = step_lines.get(step_index)
+    if rng is None:
+        return []
+    lo, hi = rng
+    src_lines = src.splitlines()
+    out = []
+    for ln in range(lo, min(hi, len(src_lines))):
+        out.append('  %4d | %s' % (ln + 1, src_lines[ln]))
+        if len(out) >= 8:
+            out.append('   ... | (%d more line(s))' % (hi - ln - 1))
+            break
+    return out
+
+
+def render_report(report: Any) -> str:
+    """The full pretty report of an :class:`AnalysisReport`."""
+    lines: List[str] = []
+    errors = report.errors
+    warnings = report.warnings
+    if not report.diagnostics:
+        lines.append('analysis: clean (no diagnostics)')
+    else:
+        lines.append('analysis: %d error(s), %d warning(s)'
+                     % (len(errors), len(warnings)))
+    for d in report.diagnostics:
+        lines.append(d.format())
+        if d.step_index is not None:
+            lines.extend(_step_excerpt(report.schedule, d.step_index))
+            lines.extend(_source_excerpt(report.kernel, d.step_index))
+    return '\n'.join(lines)

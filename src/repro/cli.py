@@ -13,6 +13,21 @@ printing the same kind of performance report (GPts/s, GFlops/s, OI) —
 at laptop scale on the simulated substrate.  ``--ranks N`` runs the same
 problem SPMD over N simulated MPI ranks and verifies the result against
 the serial run.
+
+A second mode runs the static verifier (:mod:`repro.analysis`) over the
+generated schedule *without* executing anything::
+
+    python -m repro.cli analyze acoustic -d 101 101 -so 8 \\
+        --mpi diagonal --ranks 4 --dump-schedule
+
+building the operator on every simulated rank, running all analysis
+passes (halo coverage, race detection, bounds & dead-code lint) and
+printing the diagnostic report; the exit status is nonzero when any
+``REPRO-E*`` diagnostic fires.  ``--dump-schedule`` additionally prints
+the human-readable schedule (one line per step, annotated with the
+profiling section names).  The benchmark mode's ``--sanitize`` flag
+instead instruments the *generated kernel* with the NaN poisoned-halo
+sanitizer, catching stale-halo reads at runtime.
 """
 
 from __future__ import annotations
@@ -24,7 +39,7 @@ import numpy as np
 
 from .mpi.faults import RankKilledError
 
-__all__ = ['main', 'run_benchmark']
+__all__ = ['main', 'run_analyze', 'run_benchmark']
 
 _SETUPS = None
 
@@ -107,6 +122,46 @@ def _parser():
     p.add_argument('--health-check-every', type=int, default=None,
                    metavar='N',
                    help='NaN/Inf/blowup scan cadence in timesteps')
+    p.add_argument('--sanitize', action='store_true',
+                   help='generate the kernel in poisoned-halo sanitizer '
+                        'mode: neighbor-owned ghost cells are NaN-'
+                        'poisoned every iteration and written domains '
+                        'scanned, so a stale-halo read aborts the run '
+                        'instead of silently corrupting it')
+    p.add_argument('--dump-schedule', action='store_true',
+                   help='print the human-readable schedule of the '
+                        'generated operator (one line per step, with '
+                        'profiling section names and halo depths)')
+    return p
+
+
+def _analyze_parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli analyze',
+        description='Statically verify the generated schedule of a '
+                    'propagator (halo coverage, race detection, bounds '
+                    '& dead-code lint) without running it.')
+    p.add_argument('kernel', choices=['acoustic', 'elastic', 'tti',
+                                      'viscoelastic'])
+    p.add_argument('-d', '--shape', nargs='+', type=int,
+                   default=[101, 101], metavar='N',
+                   help='grid points per dimension (2 or 3 values)')
+    p.add_argument('-so', '--space-order', type=int, default=8,
+                   help='spatial discretization order (SDO)')
+    p.add_argument('--nbl', type=int, default=10,
+                   help='absorbing boundary layer width in points')
+    p.add_argument('--mpi', choices=['basic', 'diagonal', 'full'],
+                   default='basic', help='DMP communication pattern')
+    p.add_argument('--ranks', type=int, default=2,
+                   help='simulated MPI ranks the schedule is built for '
+                        '(1 = serial: the halo pass is vacuous but '
+                        'races/bounds/dead-code still run)')
+    p.add_argument('--topology', nargs='+', type=int, default=None,
+                   help='process grid (0 entries auto-derived)')
+    p.add_argument('--no-opt', action='store_true',
+                   help='disable CSE/factorization/hoisting')
+    p.add_argument('--dump-schedule', action='store_true',
+                   help='also print the human-readable schedule dump')
     return p
 
 
@@ -115,11 +170,16 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                   out=None, profile=None, profile_out=None, faults=None,
                   recover=None, checkpoint_every=None, checkpoint_dir=None,
                   checkpoint_keep=None, resume=False,
-                  health_check_every=None):
+                  health_check_every=None, sanitize=False,
+                  dump_schedule=False):
     """Run one benchmark; returns (summary, gathered primary field)."""
     # resolve stdout at call time (pytest capture swaps sys.stdout)
     out = out if out is not None else sys.stdout
     from . import configuration
+    saved_sanitizer = configuration['sanitizer']
+    if sanitize:
+        configuration['sanitizer'] = True
+        print('sanitizer       : poisoned-halo (NaN) mode', file=out)
     if profile is not None:
         saved_level = configuration['profiling']
         configuration['profiling'] = profile
@@ -171,6 +231,8 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
     try:
         if ranks == 1:
             summary, field, op = single(resume_run=resume)
+            if dump_schedule:
+                print(op.schedule.dump(), file=out)
             _report(kernel, shape, space_order, mpi, 1, summary, op, out,
                     profile=profile, profile_out=profile_out)
             return summary, field
@@ -179,6 +241,8 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
         results = run_parallel(spmd, ranks)
         survivors = [r for r in results if r is not None]
         summary, field, op = survivors[0]
+        if dump_schedule:
+            print(op.schedule.dump(), file=out)
         _report(kernel, shape, space_order, mpi, ranks, summary, op, out,
                 profile=profile, profile_out=profile_out)
         if verify:
@@ -198,10 +262,49 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
         return summary, field
     finally:
         configuration['faults'] = saved_faults
+        configuration['sanitizer'] = saved_sanitizer
         for k, v in saved_cfg.items():
             configuration[k] = v
         if profile is not None:
             configuration['profiling'] = saved_level
+
+
+def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
+                topology=None, opt=True, dump_schedule=False, out=None):
+    """Build the operator (on every simulated rank when ``ranks > 1``)
+    and run the static verifier over its schedule — no execution.
+
+    Returns the rank-0 :class:`~repro.analysis.AnalysisReport`.
+    """
+    out = out if out is not None else sys.stdout
+    from .analysis import analyze_schedule
+    setup = _setups()[kernel]
+    spacing = (10.0,) * len(shape)
+
+    def build(comm=None):
+        solver, _ = setup(shape=tuple(shape), spacing=spacing, tn=100.0,
+                          space_order=space_order, nbl=nbl, comm=comm,
+                          topology=tuple(topology) if topology else None,
+                          mpi=mpi if comm is not None else None,
+                          opt=opt, nrec=16)
+        op = solver.op
+        return analyze_schedule(op.schedule, kernel=op.kernel,
+                                profiler=op.profiler), op
+
+    if ranks == 1:
+        report, op = build()
+    else:
+        from .mpi import run_parallel
+        results = run_parallel(build, ranks)
+        report, op = results[0]
+
+    print('--- analyze %s | shape %s | SDO %d | mpi=%s | ranks=%d ---'
+          % (kernel, 'x'.join(map(str, shape)), space_order,
+             mpi if ranks > 1 else 'off', ranks), file=out)
+    if dump_schedule:
+        print(op.schedule.dump(), file=out)
+    print(report.render(), file=out)
+    return report
 
 
 def _report(kernel, shape, so, mpi, ranks, summary, op, out,
@@ -238,6 +341,18 @@ def _report(kernel, shape, so, mpi, ranks, summary, op, out,
 
 
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == 'analyze':
+        args = _analyze_parser().parse_args(argv[1:])
+        if len(args.shape) not in (2, 3):
+            raise SystemExit('-d expects 2 or 3 dimensions')
+        report = run_analyze(args.kernel, args.shape, args.space_order,
+                             nbl=args.nbl, mpi=args.mpi, ranks=args.ranks,
+                             topology=args.topology, opt=not args.no_opt,
+                             dump_schedule=args.dump_schedule)
+        if report.errors:
+            raise SystemExit(1)
+        return
     args = _parser().parse_args(argv)
     if len(args.shape) not in (2, 3):
         raise SystemExit('-d expects 2 or 3 dimensions')
@@ -251,7 +366,9 @@ def main(argv=None):
                   checkpoint_dir=args.checkpoint_dir,
                   checkpoint_keep=args.checkpoint_keep,
                   resume=args.resume,
-                  health_check_every=args.health_check_every)
+                  health_check_every=args.health_check_every,
+                  sanitize=args.sanitize,
+                  dump_schedule=args.dump_schedule)
 
 
 if __name__ == '__main__':

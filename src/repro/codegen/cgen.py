@@ -96,13 +96,19 @@ def _params(schedule):
     return names, scalars
 
 
-def generate_c(schedule, name='Kernel', profiling='off'):
+def generate_c(schedule, name='Kernel', profiling='off', sanitizer=False):
     """Emit the complete C translation unit for ``schedule``.
 
     With ``profiling`` != 'off', the paper-style timer surface is added:
     a ``struct profiler`` with one ``double`` per named section, passed
     as the trailing kernel argument, and ``START``/``STOP`` brackets
     around every section (gettimeofday, as Devito's C backend emits).
+
+    With ``sanitizer`` the poisoned-halo hooks are printed too:
+    ``__san_poison*`` fills every neighbor-owned ghost cell with NAN and
+    ``__san_check`` scans written DOMAIN regions after each section —
+    mirroring what the executable NumPy backend actually runs in
+    sanitizer mode (:mod:`repro.analysis.sanitizer`).
     """
     grid = schedule.grid
     dist = grid.distributor
@@ -110,6 +116,7 @@ def generate_c(schedule, name='Kernel', profiling='off'):
     tvars = _time_var_names(schedule)
     em = _CEmitter()
     instrument = profiling != 'off'
+    sanitize = bool(sanitizer and schedule.mpi_mode)
     preamble_names, step_names = assign_section_names(schedule)
 
     em.emit('#define _POSIX_C_SOURCE 200809L')
@@ -150,6 +157,27 @@ def generate_c(schedule, name='Kernel', profiling='off'):
 
     fnames, scalars = _params(schedule)
 
+    if sanitize:
+        # the poisoned-halo sanitizer surface (runtime REPRO-E101/E103)
+        em.open_block('static void __san_poison(float *restrict vec, '
+                      'MPI_Comm comm, int t)')
+        em.emit('/* fill every ghost box owned by an existing neighbor '
+                '(rank != MPI_PROC_NULL) with NAN, full allocated halo '
+                'depth; physical-boundary ghosts are left untouched */')
+        em.emit('(void)vec; (void)comm; (void)t;')
+        em.close_block()
+        em.emit()
+        em.open_block('static void __san_check(const float *restrict vec, '
+                      'const char *section, int t)')
+        em.emit('/* scan the DOMAIN region of the written buffer for NAN; '
+                'a hit means a stencil consumed an unrefreshed ghost '
+                'cell */')
+        em.emit('/* if (isnan(...)) { fprintf(stderr, "poisoned-halo read '
+                'in %s\\n", section); MPI_Abort(comm, 101); } */')
+        em.emit('(void)vec; (void)section; (void)t;')
+        em.close_block()
+        em.emit()
+
     # halo-exchange callables
     halo_ids = []
     for step in schedule.steps:
@@ -178,6 +206,11 @@ def generate_c(schedule, name='Kernel', profiling='off'):
     if schedule.scalar_assignments:
         em.emit()
 
+    if sanitize:
+        for n in fnames:
+            em.emit('__san_poison(%s_vec, comm, -1);' % n)
+        em.emit()
+
     for req, sname in zip(schedule.preamble_halo, preamble_names):
         em.emit('/* begin %s (hoisted, time-invariant) */' % sname)
         start(sname)
@@ -195,6 +228,17 @@ def generate_c(schedule, name='Kernel', profiling='off'):
               % (', ' + inits if inits else '',
                  ', ' + steps if steps else ''))
     em.open_block(header)
+
+    if sanitize:
+        em.emit('/* sanitizer: buffer rotation invalidated every '
+                'time-shifted halo */')
+        for f in schedule.functions:
+            if getattr(f, 'is_TimeFunction', False):
+                em.emit('__san_poison(%s_vec, comm, time);' % f.name)
+
+    def _san_check_writes(keys):
+        for fname, tshift in sorted(keys, key=lambda k: (k[0], k[1] or 0)):
+            em.emit('__san_check(%s_vec, "%s", time);' % (fname, sname))
 
     for step, sname in zip(schedule.steps, step_names):
         em.emit('/* begin %s */' % sname)
@@ -221,8 +265,12 @@ def generate_c(schedule, name='Kernel', profiling='off'):
                             % (step.uid, fname, fname, tvar))
         elif step.is_compute:
             _emit_compute(em, schedule, step, printer, tvars)
+            if sanitize:
+                _san_check_writes(step.cluster.write_keys)
         else:
             _emit_sparse_c(em, step, printer, tvars)
+            if sanitize and step.field_access is not None:
+                _san_check_writes([step.field_access.key])
         stop(sname)
         em.emit('/* end %s */' % sname)
 

@@ -34,13 +34,18 @@ class PyKernel:
     """A compiled kernel plus everything needed to invoke it."""
 
     def __init__(self, source, func, exchangers, sparse_plans, schedule,
-                 profiler=None):
+                 profiler=None, step_lines=None, sanitizer=None):
         self.source = source
         self.func = func
         self.exchangers = exchangers
         self.sparse_plans = sparse_plans
         self.schedule = schedule
         self.profiler = profiler
+        #: schedule step index -> (first, one-past-last) 0-based line
+        #: numbers in ``source`` (consumed by the diagnostics renderer)
+        self.step_lines = dict(step_lines or {})
+        #: the HaloSanitizer when compiled in sanitizer mode, else None
+        self.sanitizer = sanitizer
 
     def __call__(self, time_m, time_M, arrays, params, comm, timer=None,
                  resilience=None):
@@ -138,13 +143,21 @@ class _SparsePrinter(PyPrinter):
         return super()._print(expr)
 
 
-def generate_kernel(schedule, progress=False, profiler=None):
+def generate_kernel(schedule, progress=False, profiler=None,
+                    sanitizer=False):
     """Generate, compile and wrap the Python kernel for ``schedule``.
 
     When ``profiler`` is enabled (profiling level ``basic``/``advanced``),
     every schedule step is wrapped in a named, timed section; at level
     ``off`` the instrumentation is *compiled out* — the generated source
     contains no timing calls at all.
+
+    With ``sanitizer=True`` the poisoned-halo sanitizer hooks are
+    compiled in: neighbor-owned ghost cells are NaN-poisoned before the
+    preamble and at the top of every iteration, and the DOMAIN of every
+    written buffer is scanned after each writing step
+    (:mod:`repro.analysis.sanitizer`).  Like the profiling calls, the
+    hooks are *compiled out* entirely when disabled.
     """
     grid = schedule.grid
     dist = grid.distributor
@@ -152,6 +165,12 @@ def generate_kernel(schedule, progress=False, profiler=None):
     if profiler is None:
         profiler = Profiler('off')
     instrument = profiler.enabled
+    san = None
+    if sanitizer:
+        from ..analysis.sanitizer import make_sanitizer
+        san = make_sanitizer(schedule)
+        if not san.enabled:
+            san = None
     preamble_names, step_names = assign_section_names(schedule)
 
     em = _Emitter()
@@ -218,6 +237,11 @@ def generate_kernel(schedule, progress=False, profiler=None):
         exchangers[key] = ex
         return key
 
+    if san is not None:
+        em.emit('# sanitizer: poison every neighbor-owned ghost cell')
+        em.emit('__SAN.poison_invariants(__A)')
+        em.emit()
+
     if schedule.preamble_halo:
         em.emit('# hoisted halo exchanges (time-invariant functions)')
         for req, sname in zip(schedule.preamble_halo, preamble_names):
@@ -237,10 +261,15 @@ def generate_kernel(schedule, progress=False, profiler=None):
     # complete before the kill fires), then the fault-injection hook
     em.emit('__RES is None or __RES.tick(time)')
     em.emit('__comm is None or __comm.fault_tick(time)')
+    if san is not None:
+        em.emit('# sanitizer: buffer rotation invalidated every halo')
+        em.emit('__SAN.poison(__A)')
     body_emitted = False
+    step_lines = {}
 
     for sid, step in enumerate(schedule.steps):
         sname = step_names[sid]
+        first_line = len(em.lines)
         if step.is_halo:
             body_emitted = True
             keys = ['h%d_%s' % (step.uid, req.function.name)
@@ -279,6 +308,10 @@ def generate_kernel(schedule, progress=False, profiler=None):
                 for box in boxes:
                     _emit_cluster(em, step.cluster, box)
                 sec_end(sname)
+                if san is not None:
+                    san.register_writes(sname,
+                                        sorted(step.cluster.write_keys))
+                    em.emit("__SAN.check('%s', __A, time)" % sname)
         else:
             body_emitted = True
             profiler.register(SectionMeta(
@@ -287,6 +320,10 @@ def generate_kernel(schedule, progress=False, profiler=None):
             sec_begin()
             _emit_sparse(em, sid, step, dist)
             sec_end(sname)
+            if san is not None and step.field_access is not None:
+                san.register_writes(sname, [step.field_access.key])
+                em.emit("__SAN.check('%s', __A, time)" % sname)
+        step_lines[sid] = (first_line, len(em.lines))
 
     if not body_emitted:
         em.emit('pass')
@@ -299,10 +336,13 @@ def generate_kernel(schedule, progress=False, profiler=None):
 
     source = em.source()
     namespace = {}
+    if san is not None:
+        namespace['__SAN'] = san
     code = compile(source, '<repro-jit-kernel>', 'exec')
     exec(code, namespace)  # noqa: S102 - this is the JIT compiler
     return PyKernel(source, namespace['__kernel'], exchangers, sparse_plans,
-                    schedule, profiler=profiler)
+                    schedule, profiler=profiler, step_lines=step_lines,
+                    sanitizer=san)
 
 
 def _box_volume(box):

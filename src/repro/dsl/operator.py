@@ -43,8 +43,15 @@ class Operator:
         Executed in order, once per timestep.
     name : str
         Kernel name (cosmetic).
-    opt : bool
+    opt : bool or 'verify'
         Enable the flop-reducing pipeline (CSE, factorization, hoisting).
+        The special value ``'verify'`` keeps the pipeline enabled and
+        additionally gates the build behind the static verifier
+        (:mod:`repro.analysis`): any error-severity diagnostic —
+        missing/undersized/stale halo exchange, loop race, out-of-bounds
+        access — raises :class:`~repro.analysis.AnalysisError` at
+        compile time.  Setting ``REPRO_OPT=verify`` turns the gate on
+        globally, for every Operator.
     mpi : str or None
         Communication pattern: 'basic', 'diagonal' or 'full'.  Defaults
         to ``configuration['mpi']``; ignored on non-distributed grids.
@@ -55,10 +62,18 @@ class Operator:
         Instrumentation level: 'off', 'basic' or 'advanced'.  Defaults
         to ``configuration['profiling']``.  At 'off' the generated source
         contains no timing calls (compiled out, not branched at runtime).
+    sanitizer : bool or None
+        Compile the poisoned-halo sanitizer hooks into the kernel
+        (:mod:`repro.analysis.sanitizer`): NaN sentinels are planted in
+        every neighbor-owned ghost cell each iteration and every written
+        DOMAIN region is scanned, so a read of an unrefreshed halo cell
+        raises :class:`~repro.analysis.HaloPoisonError` at runtime —
+        the dynamic complement of the static verifier.  Defaults to
+        ``configuration['sanitizer']`` (env ``REPRO_SANITIZER``).
     """
 
     def __init__(self, expressions, name='Kernel', opt=True, mpi=None,
-                 progress=False, profiling=None):
+                 progress=False, profiling=None, sanitizer=None):
         self.name = name
         self._mpi_requested = mpi if mpi is not None else \
             configuration['mpi']
@@ -70,8 +85,22 @@ class Operator:
         self.profiler = Profiler(profiling if profiling is not None
                                  else configuration['profiling'])
         self._progress = bool(progress)
+        self._sanitize = bool(sanitizer if sanitizer is not None
+                              else configuration['sanitizer'])
         self.kernel = generate_kernel(self.schedule, progress=progress,
-                                      profiler=self.profiler)
+                                      profiler=self.profiler,
+                                      sanitizer=self._sanitize)
+        #: the AnalysisReport of the compile-time verify gate (None when
+        #: the gate was off; call :meth:`analyze` for an on-demand run).
+        #: An explicit ``opt=False`` is the debugging escape hatch and
+        #: opts out of the global ``REPRO_OPT=verify`` gate too.
+        self.analysis = None
+        if opt == 'verify' or (opt is not False
+                               and configuration['opt'] == 'verify'):
+            from ..analysis import verify_schedule
+            self.analysis = verify_schedule(self.schedule,
+                                            kernel=self.kernel,
+                                            profiler=self.profiler)
         self._bind_sparse_plans()
         self._flops_per_point = self.schedule.flops_per_point()
         self._traffic_per_point = self.schedule.traffic_per_point(
@@ -103,7 +132,19 @@ class Operator:
         """The equivalent C code (paper's Listing 11 style)."""
         from ..codegen.cgen import generate_c
         return generate_c(self.schedule, name=self.name,
-                          profiling=self.profiler.level)
+                          profiling=self.profiler.level,
+                          sanitizer=self._sanitize)
+
+    def analyze(self):
+        """Run the static verifier over this operator's schedule.
+
+        Returns an :class:`~repro.analysis.AnalysisReport` — truthy when
+        clean, so ``assert op.analyze()`` reads naturally in tests.
+        Unlike the ``opt='verify'`` gate this never raises on findings.
+        """
+        from ..analysis import analyze_schedule
+        return analyze_schedule(self.schedule, kernel=self.kernel,
+                                profiler=self.profiler)
 
     @property
     def flops_per_point(self):

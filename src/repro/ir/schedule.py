@@ -45,15 +45,22 @@ class HaloStep:
 
 
 class ComputeStep:
-    """Execution of one cluster over a region (domain/core/remainder)."""
+    """Execution of one cluster over a region (domain/core/remainder).
+
+    ``parallel`` records how the backends execute the space sweep: both
+    treat it as embarrassingly parallel (whole-array NumPy expressions /
+    a collapsed OpenMP loop nest), which is what the static race
+    detector (``repro.analysis.races``) verifies.
+    """
 
     is_halo = False
     is_compute = True
     is_sparse = False
 
-    def __init__(self, cluster, region='domain'):
+    def __init__(self, cluster, region='domain', parallel=True):
         self.cluster = cluster
         self.region = region
+        self.parallel = parallel
 
     def __repr__(self):
         return 'ComputeStep(%s, %d eqs)' % (self.region,
@@ -90,6 +97,15 @@ class Schedule:
         self.steps = steps
         self.clusters = clusters
         self.mpi_mode = mpi_mode
+
+    def dump(self):
+        """Human-readable schedule (sections, halo depths per step).
+
+        Shared with the CLI's ``--dump-schedule`` and the diagnostic
+        renderer's step excerpts.
+        """
+        from ..analysis.render import render_schedule
+        return render_schedule(self)
 
     # -- cost hooks -------------------------------------------------------------
 
@@ -190,12 +206,30 @@ def build_schedule(expressions, mpi_mode=None, opt=True):
     scalar_assignments, clusters = optimize_clusters(clusters, opt=opt)
 
     # -- halo placement with redundancy dropping and hoisting ----------------------
+    # The "data not dirty" drop and the preamble hoist are *width-aware*:
+    # an exchange is only dropped (or a hoist only reused) when the
+    # already-exchanged depths cover the new requirement in every
+    # dimension — a deeper follow-up read forces a fresh exchange (and
+    # widens the hoisted one in place).  The static verifier
+    # (repro.analysis) independently re-derives footprints and would
+    # reject a width-ignoring drop with REPRO-E102.
+    def _covered(have, need):
+        return have is not None and all(
+            hl >= nl and hr >= nr
+            for (hl, hr), (nl, nr) in zip(have, need))
+
+    def _widened(have, need):
+        if have is None:
+            return tuple((l, r) for l, r in need)
+        return tuple((max(hl, nl), max(hr, nr))
+                     for (hl, hr), (nl, nr) in zip(have, need))
+
     distributed = grid.distributor.is_parallel and mpi_mode
     preamble_halo = []
     steps = []
     uid = 0
-    clean = set()        # (fname, tshift) whose halo is up-to-date
-    hoisted_keys = set()  # time-invariant functions already scheduled
+    clean = {}    # (fname, tshift) -> exchanged widths, not since dirtied
+    hoisted = {}  # time-invariant key -> its HaloRequirement in preamble
     for kind, item in ordered:
         if kind == 'cluster':
             needed = []
@@ -203,25 +237,34 @@ def build_schedule(expressions, mpi_mode=None, opt=True):
                 for req in item.halo_requirements():
                     if req.time_shift is None:
                         # time-invariant function: hoist out of the loop
-                        if req.key not in hoisted_keys:
+                        prev = hoisted.get(req.key)
+                        if prev is None:
+                            hoisted[req.key] = req
                             preamble_halo.append(req)
-                            hoisted_keys.add(req.key)
+                        elif not _covered(prev.widths, req.widths):
+                            merged = HaloRequirement(
+                                req.function, None,
+                                _widened(prev.widths, req.widths))
+                            preamble_halo[preamble_halo.index(prev)] = \
+                                merged
+                            hoisted[req.key] = merged
                         continue
-                    if req.key in clean:
+                    have = clean.get(req.key)
+                    if _covered(have, req.widths):
                         continue  # dropped: data not dirty (HaloSpot opt)
                     needed.append(req)
-                    clean.add(req.key)
+                    clean[req.key] = _widened(have, req.widths)
             if needed:
                 steps.append(HaloStep(needed, kind='update', uid=uid))
                 uid += 1
             steps.append(ComputeStep(item))
             # writes dirty the written buffers
             for key in item.write_keys:
-                clean.discard(key)
+                clean.pop(key, None)
         else:
             steps.append(item)
             if item.field_access is not None:
-                clean.discard(item.field_access.key)
+                clean.pop(item.field_access.key, None)
 
     # the rotating time buffers invalidate everything across iterations,
     # which the per-iteration clean-set already models (it is rebuilt each

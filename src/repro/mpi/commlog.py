@@ -11,7 +11,11 @@ An always-available :class:`CommLog` lives on every
 * **Tag-space hygiene** — :func:`check_tag_spaces` statically verifies
   that no two concurrently live exchangers of one kernel have
   overlapping tag ranges (a collision would silently cross-deliver halo
-  slabs between functions).
+  slabs between functions), and that no exchanger strays into the
+  transport's reserved out-of-band bands
+  (:data:`~repro.mpi.sim.RESERVED_TAG_SPACES`: collective tags — also
+  carrying the resilience layer's repartitioning ``alltoall`` — and the
+  ``ANY_SOURCE``/``ANY_TAG``/``PROC_NULL`` sentinels).
 * **Deadlock detection** — every blocked receive registers a wait-for
   edge ``rank -> source``; when a receive times out a scheduling slice,
   :meth:`CommLog.deadlock_probe` looks for a cycle in the wait-for graph
@@ -247,15 +251,37 @@ class CommLog:
                 % (self.size, self.nsends, self.nrecvs, self.enabled))
 
 
-def check_tag_spaces(exchangers):
-    """Verify the tag ranges of concurrently live exchangers are disjoint.
+def check_tag_spaces(exchangers, reserved=None):
+    """Verify the tag ranges of concurrently live exchangers are disjoint
+    — both from each other and from the transport's reserved bands.
 
     ``exchangers`` is the ``{key: exchanger}`` mapping of one generated
     kernel; each exchanger owns ``[tag_base, tag_base + 3**ndim)``.
-    Raises :class:`TagCollisionError` naming the colliding pair.
+
+    ``reserved`` is a sequence of out-of-band ``(lo, hi, label)`` ranges
+    (half-open) no exchanger may touch; it defaults to
+    :data:`repro.mpi.sim.RESERVED_TAG_SPACES`, which covers the
+    collective tag band (shared by the resilience layer's
+    shrink-and-redistribute ``alltoall``) and the sentinel values
+    (``ANY_SOURCE``/``ANY_TAG``/``PROC_NULL``), so recovery traffic can
+    never alias a halo exchange.
+
+    Raises :class:`TagCollisionError` naming the colliding pair (or the
+    violated reserved band).
     """
+    if reserved is None:
+        from .sim import RESERVED_TAG_SPACES
+        reserved = RESERVED_TAG_SPACES
     items = sorted(((ex.tag_range, name)
                     for name, ex in dict(exchangers).items()))
+    for (lo, hi), name in items:
+        for rlo, rhi, label in reserved:
+            if lo < rhi and rlo < hi:
+                raise TagCollisionError(
+                    "tag collision: exchanger %r [%d, %d) intersects the "
+                    "reserved out-of-band range [%d, %d) (%s); exchanger "
+                    "tag ranges must be non-negative"
+                    % (name, lo, hi, rlo, rhi, label))
     for ((lo_a, hi_a), name_a), ((lo_b, hi_b), name_b) in zip(items,
                                                               items[1:]):
         if hi_a > lo_b:

@@ -45,9 +45,10 @@ import time as _time
 
 import numpy as np
 
-__all__ = ['ANY_SOURCE', 'ANY_TAG', 'PROC_NULL', 'SimWorld', 'SimComm',
-           'Request', 'CompletedRequest', 'RecvRequest', 'RemoteRankError',
-           'parallel', 'run_parallel', 'serial_comm']
+__all__ = ['ANY_SOURCE', 'ANY_TAG', 'PROC_NULL', 'RESERVED_TAG_SPACES',
+           'SimWorld', 'SimComm', 'Request', 'CompletedRequest',
+           'RecvRequest', 'RemoteRankError', 'parallel', 'run_parallel',
+           'serial_comm']
 
 ANY_SOURCE = -101
 ANY_TAG = -102
@@ -55,6 +56,31 @@ PROC_NULL = -1
 
 #: collectives use tags below this threshold; user tags must be >= 0
 _COLLECTIVE_TAG_BASE = -10_000
+
+#: out-of-band tag ranges ``(lo, hi, label)`` (half-open ``[lo, hi)``)
+#: claimed by the transport itself.  Exchangers — and any other user of
+#: plain point-to-point tags — must stay out of these bands:
+#:
+#: * all collectives (``allgather``/``allreduce``/``alltoall``/``bcast``/
+#:   ``barrier``) draw descending tags ``<= _COLLECTIVE_TAG_BASE``; the
+#:   resilience layer's shrink-and-redistribute repartitioning rides on
+#:   ``alltoall`` and therefore lives in the same band;
+#: * the wildcard/sentinel values (``ANY_SOURCE``, ``ANY_TAG``,
+#:   ``PROC_NULL``) sit just below zero and must never double as real
+#:   message tags;
+#: * ``SimWorld.coordinate`` (the rendezvous used to spawn operators on a
+#:   fresh set of ranks during recovery) is condition-variable based and
+#:   uses no tags at all, but the band below zero is reserved wholesale
+#:   so any future out-of-band traffic has a home.
+#:
+#: Effectively: user tag ranges must be non-negative.
+#: :func:`repro.mpi.commlog.check_tag_spaces` enforces this statically.
+RESERVED_TAG_SPACES = (
+    (-(2**63), _COLLECTIVE_TAG_BASE + 1,
+     'collectives & resilience repartitioning'),
+    (_COLLECTIVE_TAG_BASE + 1, 0,
+     'sentinels (ANY_SOURCE/ANY_TAG/PROC_NULL) & out-of-band control'),
+)
 
 
 class RemoteRankError(RuntimeError):

@@ -85,9 +85,20 @@ class Configuration(MutableMapping):
             converter=self._convert_mpi,
             description='default DMP pattern for distributed grids'))
         self.register(Parameter(
-            'opt', default=True, env='REPRO_OPT', converter=_as_bool,
+            'opt', default=True, env='REPRO_OPT',
+            converter=self._convert_opt,
             description='flop-reducing pipeline (CSE/factorization/'
-                        'hoisting)'))
+                        'hoisting); the special value \'verify\' keeps '
+                        'the pipeline on and additionally gates every '
+                        'Operator build behind the static verifier '
+                        '(repro.analysis)'))
+        self.register(Parameter(
+            'sanitizer', default=False, env='REPRO_SANITIZER',
+            converter=_as_bool,
+            description='poisoned-halo sanitizer: generated kernels '
+                        'NaN-poison neighbor-owned ghost cells each '
+                        'iteration and scan written domains, catching '
+                        'unrefreshed-halo reads at runtime'))
         self.register(Parameter(
             'profiling', default='basic', env='REPRO_PROFILING',
             accepted=PROFILING_LEVELS,
@@ -167,6 +178,13 @@ class Configuration(MutableMapping):
         if value is False or value is None:
             return False
         return value
+
+    @staticmethod
+    def _convert_opt(value):
+        # boolean-like, or the string 'verify' (optimize + static gate)
+        if isinstance(value, str) and value.strip().lower() == 'verify':
+            return 'verify'
+        return _as_bool(value)
 
     @staticmethod
     def _convert_faults(value):

@@ -98,6 +98,10 @@ class Profiler:
         self.sections = {}
         #: direct byte charges (checkpoint/restore payloads) by section
         self.section_bytes = {}
+        #: build-time (compile-phase) costs, e.g. the static verifier's
+        #: 'analysis' wall time; NOT cleared by reset() — build happens
+        #: once, apply() resets per run
+        self.build_times = {}
 
     @property
     def enabled(self):
@@ -116,6 +120,12 @@ class Profiler:
         if self.timer is not None:
             self.timer.reset()
         self.section_bytes.clear()
+
+    def record_build_time(self, name, seconds):
+        """Charge compile-phase wall time to a named build stage (the
+        static verifier records itself as 'analysis')."""
+        self.build_times[name] = self.build_times.get(name, 0.0) \
+            + float(seconds)
 
     def record_bytes(self, name, nbytes):
         """Charge payload bytes to a section directly (used by sections

@@ -1,0 +1,357 @@
+"""The static verifier (repro.analysis) and the poisoned-halo sanitizer.
+
+Three claims are exercised:
+
+1. **Soundness on shipped code** — every propagator, at every space
+   order and with every communication pattern, analyzes *clean* (zero
+   diagnostics, warnings included).  The verifier re-derives the
+   communication requirements independently of the scheduler, so this is
+   a real cross-check, not a tautology.
+2. **Sensitivity to seeded bugs** — mutations of a correct schedule
+   (deleted exchange, shrunk halo depth, loop-carried equation in a
+   parallel step, out-of-bounds offset) are each rejected with their
+   documented diagnostic code.
+3. **The runtime complement** — the NaN poisoned-halo sanitizer catches
+   a stale-halo read that plain execution silently mis-computes, while
+   remaining bit-identical to the un-instrumented run on correct code.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Eq, Grid, Operator, TimeFunction, configuration, solve
+from repro.analysis import (AnalysisError, CODES, HaloPoisonError,
+                            analyze_schedule, describe_key, format_widths,
+                            verify_schedule)
+from repro.ir.clusters import HaloRequirement
+from repro.mpi import run_parallel
+from repro.mpi.commlog import TagCollisionError, check_tag_spaces
+from repro.mpi.sim import RESERVED_TAG_SPACES
+from repro.models import (acoustic_setup, elastic_setup, tti_setup,
+                          viscoelastic_setup)
+
+MODES = ('basic', 'diagonal', 'full')
+SETUPS = {'acoustic': acoustic_setup, 'elastic': elastic_setup,
+          'tti': tti_setup, 'viscoelastic': viscoelastic_setup}
+
+
+def _diffusion_op(comm=None, mpi=None, shape=(16, 16), so=4, **kw):
+    """A diffusion operator (not applied) plus its field."""
+    grid = Grid(shape=shape, extent=tuple(float(s - 1) for s in shape),
+                comm=comm)
+    u = TimeFunction(name='u', grid=grid, space_order=so)
+    eq = Eq(u.dt, u.laplace)
+    return Operator([Eq(u.forward, solve(eq, u.forward))], mpi=mpi,
+                    **kw), u
+
+
+# -- 1. zero diagnostics on every shipped model --------------------------------------
+
+
+class TestCleanSchedules:
+    @pytest.mark.parametrize('model', sorted(SETUPS))
+    @pytest.mark.parametrize('so', [4, 8])
+    @pytest.mark.parametrize('mode', MODES)
+    def test_propagator_matrix(self, model, so, mode):
+        setup = SETUPS[model]
+
+        def build(comm):
+            solver, _ = setup(shape=(36, 36), spacing=(10., 10.),
+                              tn=70.0, space_order=so, nbl=4, comm=comm,
+                              mpi=mode, nrec=4)
+            return solver.op.analyze()
+
+        for rank, report in enumerate(run_parallel(build, 2)):
+            assert not report.diagnostics, (rank, report.render())
+
+    def test_serial_clean(self):
+        op, _ = _diffusion_op()
+        report = op.analyze()
+        assert bool(report)  # truthy == clean
+        assert report.codes == []
+
+    @pytest.mark.parametrize('mode', MODES)
+    def test_diffusion_distributed_clean(self, mode):
+        reports = run_parallel(
+            lambda c: _diffusion_op(c, mpi=mode)[0].analyze(), 2)
+        assert all(not r.diagnostics for r in reports)
+
+
+# -- 2. mutation testing: seeded bugs are rejected by code ---------------------------
+
+
+def _dist_op(comm, mode='basic', so=4):
+    return _diffusion_op(comm, mpi=mode, so=so)[0]
+
+
+class TestMutations:
+    def test_deleted_halo_is_E101(self):
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        op = ops[0]
+        assert any(s.is_halo for s in op.schedule.steps)
+        op.schedule.steps = [s for s in op.schedule.steps
+                             if not s.is_halo]
+        report = analyze_schedule(op.schedule)
+        assert 'REPRO-E101' in report.codes
+        assert report.errors
+
+    def test_shrunk_halo_is_E102(self):
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        op = ops[0]
+        for step in op.schedule.steps:
+            if not step.is_halo:
+                continue
+            step.exchanges = [
+                HaloRequirement(req.function, req.time_shift,
+                                [(max(l - 1, 0), max(r - 1, 0))
+                                 for l, r in req.widths])
+                for req in step.exchanges]
+        report = analyze_schedule(op.schedule)
+        assert 'REPRO-E102' in report.codes
+
+    def test_loop_carried_parallel_is_E111(self):
+        grid = Grid(shape=(12, 12), extent=(11., 11.))
+        u = TimeFunction(name='u', grid=grid, space_order=4)
+        t, (x, y) = u.time_dim, grid.dimensions
+        # a Gauss-Seidel-style recurrence: reads its own write at x-1,
+        # but every compute step is executed as a parallel sweep
+        eq = Eq(u.forward,
+                u.indexed(t + 1, x - 1, y) * 0.5 + u.indexed(t, x, y))
+        op = Operator([eq], opt=False)
+        report = op.analyze()
+        assert 'REPRO-E111' in report.codes
+        [diag] = report.by_code('REPRO-E111')
+        assert 'u[t+1]' in diag.message
+
+    def test_ww_race_is_E112(self):
+        grid = Grid(shape=(12, 12), extent=(11., 11.))
+        u = TimeFunction(name='u', grid=grid, space_order=4)
+        t, (x, y) = u.time_dim, grid.dimensions
+        op = Operator([Eq(u.indexed(t + 1, x, y), u.indexed(t, x, y)),
+                       Eq(u.indexed(t + 1, x + 1, y),
+                          u.indexed(t, x, y) * 2.0)], opt=False)
+        assert 'REPRO-E112' in op.analyze().codes
+
+    def test_out_of_bounds_is_E121(self):
+        grid = Grid(shape=(12, 12), extent=(11., 11.))
+        u = TimeFunction(name='u', grid=grid, space_order=4)
+        t, (x, y) = u.time_dim, grid.dimensions
+        op = Operator([Eq(u.forward, u.indexed(t, x + 20, y))], opt=False)
+        assert 'REPRO-E121' in op.analyze().codes
+
+    def test_every_code_documented(self):
+        for code, (severity, title) in CODES.items():
+            assert code.startswith('REPRO-')
+            assert severity in ('error', 'warning')
+            assert title
+
+
+# -- the compile-time gate (opt='verify' / REPRO_OPT=verify) -------------------------
+
+
+class TestVerifyGate:
+    def test_clean_build_attaches_report(self):
+        op, _ = _diffusion_op(opt='verify')
+        assert op.analysis is not None
+        assert not op.analysis.diagnostics
+
+    def test_gate_rejects_race_at_build(self):
+        grid = Grid(shape=(12, 12), extent=(11., 11.))
+        u = TimeFunction(name='u', grid=grid, space_order=4)
+        t, (x, y) = u.time_dim, grid.dimensions
+        eq = Eq(u.forward,
+                u.indexed(t + 1, x - 1, y) * 0.5 + u.indexed(t, x, y))
+        with pytest.raises(AnalysisError) as err:
+            Operator([eq], opt='verify')
+        assert 'REPRO-E111' in str(err.value)
+
+    def test_verify_schedule_raises_on_mutation(self):
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        op = ops[0]
+        op.schedule.steps = [s for s in op.schedule.steps
+                             if not s.is_halo]
+        with pytest.raises(AnalysisError) as err:
+            verify_schedule(op.schedule)
+        assert 'REPRO-E101' in str(err.value)
+
+    def test_configuration_accepts_verify(self):
+        saved = configuration['opt']
+        try:
+            configuration['opt'] = 'verify'
+            assert configuration['opt'] == 'verify'
+            op, _ = _diffusion_op()  # global gate, clean build passes
+            assert op.analysis is not None
+        finally:
+            configuration['opt'] = saved
+
+    def test_analysis_build_time_recorded(self):
+        op, _ = _diffusion_op(opt='verify')
+        assert op.profiler.build_times.get('analysis', 0.0) >= 0.0
+        assert 'analysis' in op.profiler.build_times
+
+
+# -- 3. the poisoned-halo sanitizer --------------------------------------------------
+
+
+def _sanitized_stale_run(comm, sanitize):
+    """Run a diffusion op whose halo exchanges were deleted."""
+    from repro.codegen.pybackend import generate_kernel
+    op, u = _diffusion_op(comm, mpi='basic')
+    u.data[0] = 1.0
+    op.schedule.steps = [s for s in op.schedule.steps if not s.is_halo]
+    op.kernel = generate_kernel(op.schedule, profiler=op.profiler,
+                                sanitizer=sanitize)
+    op._bind_sparse_plans()
+    op.apply(time_M=3, dt=0.02)
+    return u.data.gather()
+
+
+class TestSanitizer:
+    def test_catches_stale_halo_read(self):
+        with pytest.raises(HaloPoisonError) as err:
+            run_parallel(lambda c: _sanitized_stale_run(c, True), 2)
+        assert 'section0' in str(err.value)
+
+    def test_plain_mode_is_silent_on_same_bug(self):
+        # the very bug the sanitizer catches: plain execution completes
+        # without complaint (and computes garbage at the rank seam)
+        result = run_parallel(lambda c: _sanitized_stale_run(c, False), 2)
+        assert result is not None
+
+    @pytest.mark.parametrize('mode', MODES)
+    def test_bit_identical_when_clean(self, mode):
+        def run(comm=None, sanitizer=None):
+            op, u = _diffusion_op(comm, mpi=mode if comm else None,
+                                  sanitizer=sanitizer)
+            init = np.zeros(u.grid.shape, dtype=np.float32)
+            init[tuple(s // 2 for s in u.grid.shape)] = 1.0
+            u.data[0] = init
+            op.apply(time_M=3, dt=0.02)
+            return u.data.gather()
+
+        serial = run()
+        out = run_parallel(lambda c: run(c, sanitizer=True), 2)
+        for r, field in enumerate(out):
+            assert np.array_equal(field, serial), (mode, r)
+
+    def test_configuration_key(self):
+        saved = configuration['sanitizer']
+        try:
+            configuration['sanitizer'] = 'yes'
+            assert configuration['sanitizer'] is True
+            configuration['sanitizer'] = 0
+            assert configuration['sanitizer'] is False
+        finally:
+            configuration['sanitizer'] = saved
+
+
+# -- reserved tag spaces -------------------------------------------------------------
+
+
+class _FakeExchanger:
+    def __init__(self, lo, hi):
+        self.tag_range = (lo, hi)
+
+
+class TestTagSpaces:
+    def test_disjoint_nonnegative_ranges_pass(self):
+        check_tag_spaces({'a': _FakeExchanger(0, 27),
+                          'b': _FakeExchanger(64, 91)})
+
+    def test_overlapping_exchangers_collide(self):
+        with pytest.raises(TagCollisionError):
+            check_tag_spaces({'a': _FakeExchanger(0, 27),
+                              'b': _FakeExchanger(20, 47)})
+
+    def test_sentinel_band_reserved(self):
+        with pytest.raises(TagCollisionError) as err:
+            check_tag_spaces({'a': _FakeExchanger(-5, 22)})
+        assert 'reserved' in str(err.value)
+
+    def test_collective_band_reserved(self):
+        # the resilience repartitioning alltoall rides on collective
+        # tags; an exchanger must never be able to alias them
+        with pytest.raises(TagCollisionError) as err:
+            check_tag_spaces({'a': _FakeExchanger(-10_050, -10_020)})
+        assert 'resilience' in str(err.value)
+
+    def test_every_negative_tag_is_reserved(self):
+        from repro.mpi.sim import (ANY_SOURCE, ANY_TAG, PROC_NULL,
+                                   _COLLECTIVE_TAG_BASE)
+        for tag in (PROC_NULL, ANY_SOURCE, ANY_TAG, -1,
+                    _COLLECTIVE_TAG_BASE, _COLLECTIVE_TAG_BASE - 12345):
+            assert any(lo <= tag < hi
+                       for lo, hi, _ in RESERVED_TAG_SPACES), tag
+
+    def test_live_kernel_exchangers_are_clean(self):
+        def build(comm):
+            op = _dist_op(comm)
+            check_tag_spaces(op.kernel.exchangers)
+            return True
+        assert all(run_parallel(build, 2))
+
+
+# -- rendering & the schedule dump ---------------------------------------------------
+
+
+class TestRendering:
+    def test_describe_key(self):
+        assert describe_key(('u', 1)) == 'u[t+1]'
+        assert describe_key(('u', 0)) == 'u[t]'
+        assert describe_key(('u', -1)) == 'u[t-1]'
+        assert describe_key(('m', None)) == 'm'
+
+    def test_format_widths(self):
+        grid = Grid(shape=(8, 8), extent=(7., 7.))
+        x, y = grid.dimensions
+        assert format_widths(((1, 1), (0, 2)), (x, y)) \
+            == '(x: 1/1, y: 0/2)'
+
+    def test_dump_names_match_profiler_sections(self):
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        dump = ops[0].schedule.dump()
+        assert 'haloupdate0' in dump
+        assert 'section0' in dump
+        assert 'mpi=basic' in dump
+
+    def test_report_renders_step_and_source_excerpts(self):
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        op = ops[0]
+        op.schedule.steps = [s for s in op.schedule.steps
+                             if not s.is_halo]
+        report = analyze_schedule(op.schedule, kernel=op.kernel)
+        text = report.render()
+        assert 'REPRO-E101' in text
+        assert 'error' in text
+
+    def test_clean_report_renders(self):
+        op, _ = _diffusion_op()
+        assert 'clean' in op.analyze().render()
+
+
+# -- the CLI analyze mode ------------------------------------------------------------
+
+
+class TestCLI:
+    def test_analyze_mode_clean(self, capsys):
+        from repro.cli import main
+        main(['analyze', 'acoustic', '-d', '41', '41', '-so', '4',
+              '--ranks', '2', '--mpi', 'diagonal', '--dump-schedule'])
+        out = capsys.readouterr().out
+        assert 'analysis: clean' in out
+        assert 'haloupdate0' in out
+
+    def test_analyze_mode_serial(self, capsys):
+        from repro.cli import main
+        main(['analyze', 'acoustic', '-d', '41', '41', '-so', '4',
+              '--ranks', '1'])
+        out = capsys.readouterr().out
+        assert 'analysis: clean' in out
+
+    def test_benchmark_sanitize_flag(self, capsys):
+        from repro.cli import run_benchmark
+        run_benchmark('acoustic', [41, 41], 30.0, 4, nbl=4, ranks=2,
+                      sanitize=True, verify=True)
+        out = capsys.readouterr().out
+        assert 'sanitizer' in out
+        assert 'IDENTICAL' in out
