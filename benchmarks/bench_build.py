@@ -1,0 +1,156 @@
+"""Cold vs warm ``Operator`` build time: the build-cache payoff.
+
+A cold build runs the whole pipeline (lowering -> Cluster IR -> rewrites
+-> schedule -> codegen); a warm build fingerprints the inputs and
+rehydrates the cached artifact.  The acceptance bar (ISSUE 5) is a >=5x
+warm speedup for the in-process tier, and bitwise-identical generated
+source and results.
+
+Run as a module to (re)generate the ``BENCH_build.json`` trajectory
+artifact consumed by the CI ``bench`` job::
+
+    PYTHONPATH=src python benchmarks/bench_build.py [-o BENCH_build.json]
+
+The regression gate (:mod:`tools.check_bench_regression`) compares the
+*ratio* metrics (speedups, machine-independent) against the committed
+baseline; absolute milliseconds are recorded for trend plots only.
+"""
+
+import time
+
+import pytest
+
+from repro import Eq, Grid, Operator, TimeFunction, solve
+from repro.buildcache import BuildCache
+
+#: timed build repetitions (best-of, to shed scheduler noise)
+REPEAT = 5
+
+CASES = {
+    'diffusion_so4': dict(shape=(64, 64), so=4),
+    'diffusion_so8': dict(shape=(128, 128), so=8),
+}
+
+
+def _expressions(shape, so):
+    grid = Grid(shape=shape)
+    u = TimeFunction(name='u', grid=grid, space_order=so)
+    u.data[:, 2:6, 2:6] = 1.0
+    eq = Eq(u.dt, 0.5 * u.laplace)
+    return [Eq(u.forward, solve(eq, u.forward))], u
+
+
+def _best_build(exprs, cache, n=REPEAT):
+    """Best-of-n Operator construction time (seconds) and the last op."""
+    best = float('inf')
+    op = None
+    for _ in range(n):
+        tic = time.perf_counter()
+        op = Operator(exprs, cache=cache)
+        best = min(best, time.perf_counter() - tic)
+    return best, op
+
+
+def _measure_case(shape, so, tmp_dir):
+    exprs, _ = _expressions(shape, so)
+    cold, cold_op = _best_build(exprs, cache=False)
+
+    memory = BuildCache('memory')
+    Operator(exprs, cache=memory)  # prime
+    warm_mem, mem_op = _best_build(exprs, cache=memory)
+
+    disk = BuildCache('disk', directory=str(tmp_dir))
+    Operator(exprs, cache=disk)  # prime
+    warm_disk, disk_op = _best_build(exprs, cache=disk)
+
+    assert cold_op.cache_info()['status'] == 'off'
+    assert mem_op.cache_info()['status'] == 'hit'
+    assert disk_op.cache_info()['status'] == 'hit'
+    # warm builds are bitwise-identical artifacts
+    assert mem_op.pycode == cold_op.pycode
+    assert disk_op.pycode == cold_op.pycode
+    return {
+        'cold_ms': cold * 1e3,
+        'warm_memory_ms': warm_mem * 1e3,
+        'warm_disk_ms': warm_disk * 1e3,
+        'speedup_memory': cold / warm_mem,
+        'speedup_disk': cold / warm_disk,
+    }
+
+
+@pytest.mark.parametrize('case', sorted(CASES))
+def test_warm_speedup(case, tmp_path):
+    """The acceptance bar: warm >= 5x faster than cold (memory tier),
+    and the disk tier still comfortably beats a cold build."""
+    r = _measure_case(tmp_dir=tmp_path, **CASES[case])
+    print('\n%s: cold %.2fms, warm(mem) %.2fms (%.1fx), warm(disk) '
+          '%.2fms (%.1fx)' % (case, r['cold_ms'], r['warm_memory_ms'],
+                              r['speedup_memory'], r['warm_disk_ms'],
+                              r['speedup_disk']))
+    assert r['speedup_memory'] >= 5.0
+    assert r['speedup_disk'] >= 2.0
+
+
+def test_warm_results_identical(tmp_path):
+    """Beyond source identity: a run through a disk-warm kernel produces
+    the same bits as a run through a cold one."""
+    import numpy as np
+
+    cache = BuildCache('disk', directory=str(tmp_path))
+
+    def run(mode):
+        exprs, u = _expressions((48, 48), 4)
+        op = Operator(exprs, cache=cache if mode != 'off' else False)
+        op.apply(time_M=9, dt=0.01)
+        return u.data.gather(), op.cache_info()['status']
+
+    cold, s0 = run('off')
+    miss, s1 = run('disk')
+    warm, s2 = run('disk')
+    assert (s0, s1, s2) == ('off', 'miss', 'hit')
+    assert np.array_equal(cold, miss)
+    assert np.array_equal(cold, warm)
+
+
+def collect(tmp_dir):
+    """All cases -> the BENCH_build.json payload."""
+    cases = {name: _measure_case(tmp_dir=tmp_dir, **spec)
+             for name, spec in sorted(CASES.items())}
+    metrics = {}
+    for name, r in cases.items():
+        metrics['%s_speedup_memory' % name] = round(r['speedup_memory'], 3)
+        metrics['%s_speedup_disk' % name] = round(r['speedup_disk'], 3)
+    metrics['speedup_memory_min'] = round(
+        min(r['speedup_memory'] for r in cases.values()), 3)
+    metrics['speedup_disk_min'] = round(
+        min(r['speedup_disk'] for r in cases.values()), 3)
+    return {
+        'benchmark': 'bench_build',
+        'repeat': REPEAT,
+        'cases': {name: {k: round(v, 4) for k, v in r.items()}
+                  for name, r in cases.items()},
+        'metrics': metrics,
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        description='Measure cold vs warm Operator build time and write '
+                    'the BENCH_build.json trajectory artifact.')
+    parser.add_argument('-o', '--output', default='BENCH_build.json')
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix='repro-bench-cache-') as d:
+        payload = collect(d)
+    from repro.ioutil import atomic_write_json
+    atomic_write_json(args.output, payload)
+    print(json.dumps(payload, indent=2))
+    print('wrote %s' % args.output)
+    return payload
+
+
+if __name__ == '__main__':
+    main()

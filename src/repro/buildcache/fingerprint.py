@@ -1,0 +1,106 @@
+"""The cache *key*: a canonical fingerprint of one operator build.
+
+Two ``Operator`` constructions may share a cached kernel iff every input
+that influences the generated artifact is identical.  Those inputs are:
+
+* the **expressions** — structure, finite-difference specs, function
+  signatures (name, orders, dtype, padding, staggering), sparse point
+  counts.  Hashed *raw* (before lowering): lowering and the rewrite
+  pipeline are deterministic functions of the raw form, and hashing the
+  raw form is what makes a cache hit cheap (lowering + optimization are
+  ~90% of a cold build).
+* the **grid and its decomposition** — shape, dtype, Cartesian topology
+  and this rank's coordinates.  Generated source embeds per-rank
+  compile-time iteration boxes, so the same equations on a different
+  rank layout are a different kernel.
+* the **build configuration** — DMP mode, the optimization switch, the
+  verify gate, the sanitizer, instrumentation, the progress thread and
+  the backend.
+
+Excluded on purpose: :class:`~repro.dsl.function.Constant` *values*
+(runtime ``apply`` arguments), sparse *coordinates* (runtime data — the
+routing plan is rebuilt live on every rehydration), field *data*, and
+the profiling level beyond its on/off bit ('basic' and 'advanced'
+compile to identical source).
+
+Anything the emitter does not recognize raises ``TypeError``; the
+operator then simply builds cold (uncacheable, never wrong).
+"""
+
+from __future__ import annotations
+
+from ..symbolics.hashing import TokenEmitter
+
+__all__ = ['fingerprint_build']
+
+
+def _flatten(expressions):
+    flat = []
+    stack = list(reversed(list(expressions))) \
+        if isinstance(expressions, (list, tuple)) else [expressions]
+    while stack:
+        e = stack.pop()
+        if isinstance(e, (list, tuple)):
+            stack.extend(reversed(list(e)))
+        else:
+            flat.append(e)
+    return flat
+
+
+def _emit_toplevel(emitter, e):
+    if hasattr(e, 'lhs') and hasattr(e, 'rhs') and hasattr(e, 'subdomain'):
+        # an Eq
+        emitter.token('Eq')
+        emitter.emit(e.lhs)
+        emitter.emit(e.rhs)
+        emitter.emit(None if e.subdomain is None else str(e.subdomain))
+    elif hasattr(e, 'sparse') and hasattr(e, 'field'):
+        # an Injection
+        emitter.token('Inject')
+        emitter.emit(e.sparse)
+        emitter.emit(e.field)
+        emitter.emit(e.expr)
+    elif hasattr(e, 'sparse') and hasattr(e, 'expr'):
+        # an Interpolation
+        emitter.token('Interp')
+        emitter.emit(e.sparse)
+        emitter.emit(e.expr)
+    elif hasattr(e, 'args') and hasattr(e, 'is_Atom'):
+        emitter.emit(e)
+    else:
+        raise TypeError("cannot fingerprint top-level expression %r of "
+                        "type %s" % (e, type(e).__name__))
+
+
+def fingerprint_build(expressions, *, mpi_mode, opt, verify, sanitizer,
+                      instrument, progress, backend='py'):
+    """Fingerprint one operator build.
+
+    Returns ``(hexdigest, emitter)``; the emitter doubles as the symbol
+    table (live functions / sparse functions / constants / grids found
+    during the traversal) used to rebind a cached artifact.
+
+    Raises ``TypeError`` on inputs outside the token grammar — callers
+    treat that as "uncacheable" and build cold.
+    """
+    emitter = TokenEmitter()
+    # build configuration context (every source-affecting switch)
+    emitter.token('cfg', str(mpi_mode), int(bool(opt)), int(bool(verify)),
+                  int(bool(sanitizer)), int(bool(instrument)),
+                  int(bool(progress)), backend)
+    flat = _flatten(expressions)
+    emitter.token('exprs', len(flat))
+    for e in flat:
+        _emit_toplevel(emitter, e)
+    # decomposition signature of every grid touched: the generated
+    # source hard-codes this rank's iteration boxes and the exchanger
+    # tags assume this topology
+    emitter.token('dists', len(emitter.grids))
+    for grid in emitter.grids:
+        dist = grid.distributor
+        emitter.token('dist')
+        emitter.emit(tuple(dist.topology))
+        emitter.emit(int(dist.myrank))
+        emitter.emit(tuple(dist.mycoords))
+        emitter.emit(tuple(dist.shape_local))
+    return emitter.hexdigest(), emitter

@@ -39,7 +39,7 @@ import numpy as np
 
 from .mpi.faults import RankKilledError
 
-__all__ = ['main', 'run_analyze', 'run_benchmark']
+__all__ = ['main', 'run_analyze', 'run_benchmark', 'run_cache']
 
 _SETUPS = None
 
@@ -132,6 +132,37 @@ def _parser():
                    help='print the human-readable schedule of the '
                         'generated operator (one line per step, with '
                         'profiling section names and halo depths)')
+    p.add_argument('--cache', choices=['on', 'memory', 'disk', 'off'],
+                   default=None,
+                   help='operator build cache mode for this run: on '
+                        '(memory + disk under --cache-dir/REPRO_CACHE_'
+                        'DIR), memory, disk, or off (default: '
+                        'configuration, i.e. REPRO_CACHE or memory)')
+    p.add_argument('--cache-dir', default=None, metavar='PATH',
+                   help='directory of the on-disk build-cache tier '
+                        '(default .repro_cache or REPRO_CACHE_DIR)')
+    return p
+
+
+def _cache_parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli cache',
+        description='Inspect or clear the on-disk operator build cache '
+                    '(the content-addressed store under REPRO_CACHE_DIR '
+                    'that warm Operator builds rehydrate from).')
+    p.add_argument('action', choices=['stats', 'clear'],
+                   help='stats: print cumulative hit/miss counters and '
+                        'disk usage; clear: delete every cached entry '
+                        '(and the counters)')
+    p.add_argument('--cache-dir', default=None, metavar='PATH',
+                   help='cache directory (default: configuration '
+                        'cache_dir, i.e. .repro_cache or '
+                        'REPRO_CACHE_DIR)')
+    p.add_argument('--min-hits', type=int, default=None, metavar='N',
+                   help='stats: exit nonzero unless the cumulative hit '
+                        'count is >= N (the CI cache-warm gate)')
+    p.add_argument('--json', action='store_true',
+                   help='stats: machine-readable JSON output')
     return p
 
 
@@ -171,11 +202,17 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                   recover=None, checkpoint_every=None, checkpoint_dir=None,
                   checkpoint_keep=None, resume=False,
                   health_check_every=None, sanitize=False,
-                  dump_schedule=False):
+                  dump_schedule=False, cache=None, cache_dir=None):
     """Run one benchmark; returns (summary, gathered primary field)."""
     # resolve stdout at call time (pytest capture swaps sys.stdout)
     out = out if out is not None else sys.stdout
     from . import configuration
+    saved_cache = configuration['build_cache']
+    saved_cache_dir = configuration['cache_dir']
+    if cache is not None:
+        configuration['build_cache'] = cache
+    if cache_dir is not None:
+        configuration['cache_dir'] = cache_dir
     saved_sanitizer = configuration['sanitizer']
     if sanitize:
         configuration['sanitizer'] = True
@@ -263,6 +300,8 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
     finally:
         configuration['faults'] = saved_faults
         configuration['sanitizer'] = saved_sanitizer
+        configuration['build_cache'] = saved_cache
+        configuration['cache_dir'] = saved_cache_dir
         for k, v in saved_cfg.items():
             configuration[k] = v
         if profile is not None:
@@ -318,6 +357,12 @@ def _report(kernel, shape, so, mpi, ranks, summary, op, out,
     print('flops/point      : %d' % op.flops_per_point, file=out)
     print('operational int. : %.2f F/B (compile-time, from the AST)'
           % op.oi, file=out)
+    cinfo = op.cache_info()
+    if cinfo['status'] == 'hit':
+        print('build cache      : hit (%s tier, saved %.3f s)'
+              % (cinfo['tier'], cinfo['saved_seconds']), file=out)
+    elif cinfo['status'] == 'miss':
+        print('build cache      : miss (entry stored)', file=out)
     health = getattr(summary, 'comm_health', {})
     if health.get('drops_injected') or health.get('duplicates_injected') \
             or health.get('redelivered') or health.get('retries'):
@@ -340,8 +385,60 @@ def _report(kernel, shape, so, mpi, ranks, summary, op, out,
             print('profile JSON written to %s' % profile_out, file=out)
 
 
+def run_cache(action, cache_dir=None, min_hits=None, as_json=False,
+              out=None):
+    """The ``cache`` subcommand: inspect or clear the on-disk tier.
+
+    Returns a process exit status (nonzero when the ``--min-hits`` gate
+    fails), so CI can assert a warmed cache actually served hits.
+    """
+    import json as _json
+
+    out = out if out is not None else sys.stdout
+    from . import configuration
+    from .buildcache import clear_disk, disk_usage, read_disk_stats
+    directory = cache_dir if cache_dir is not None \
+        else configuration['cache_dir']
+    if action == 'clear':
+        removed = clear_disk(directory)
+        print('build cache cleared: %d entr%s removed from %s'
+              % (removed, 'y' if removed == 1 else 'ies', directory),
+              file=out)
+        return 0
+    stats = read_disk_stats(directory)
+    nentries, nbytes = disk_usage(directory)
+    stats.update(entries=nentries, disk_bytes=nbytes,
+                 directory=str(directory))
+    if as_json:
+        print(_json.dumps(stats, indent=2, sort_keys=True), file=out)
+    else:
+        print('build cache at %s' % directory, file=out)
+        print('  entries       : %d (%d bytes on disk)'
+              % (nentries, nbytes), file=out)
+        print('  hits          : %d (memory %d, disk %d)'
+              % (stats['hits'], stats['memory_hits'], stats['disk_hits']),
+              file=out)
+        print('  misses        : %d' % stats['misses'], file=out)
+        print('  stores        : %d' % stats['stores'], file=out)
+        print('  errors        : %d' % stats['errors'], file=out)
+        print('  time saved    : %.3f s' % stats['saved_seconds'],
+              file=out)
+    if min_hits is not None and stats['hits'] < min_hits:
+        print('FAIL: %d cumulative hit(s) < required %d'
+              % (stats['hits'], min_hits), file=out)
+        return 1
+    return 0
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == 'cache':
+        args = _cache_parser().parse_args(argv[1:])
+        status = run_cache(args.action, cache_dir=args.cache_dir,
+                           min_hits=args.min_hits, as_json=args.json)
+        if status:
+            raise SystemExit(status)
+        return
     if argv and argv[0] == 'analyze':
         args = _analyze_parser().parse_args(argv[1:])
         if len(args.shape) not in (2, 3):
@@ -368,7 +465,8 @@ def main(argv=None):
                   resume=args.resume,
                   health_check_every=args.health_check_every,
                   sanitize=args.sanitize,
-                  dump_schedule=args.dump_schedule)
+                  dump_schedule=args.dump_schedule,
+                  cache=args.cache, cache_dir=args.cache_dir)
 
 
 if __name__ == '__main__':

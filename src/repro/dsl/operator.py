@@ -70,43 +70,144 @@ class Operator:
         raises :class:`~repro.analysis.HaloPoisonError` at runtime —
         the dynamic complement of the static verifier.  Defaults to
         ``configuration['sanitizer']`` (env ``REPRO_SANITIZER``).
+    cache : None, bool, str or BuildCache
+        Build-cache control for this operator: ``None`` (default)
+        follows ``configuration['build_cache']``; ``True``/``False``
+        force 'on'/'off'; a mode string ('on'/'memory'/'disk'/'off')
+        selects a tier combination; a
+        :class:`~repro.buildcache.BuildCache` instance is used as-is.
+        On a hit the whole pipeline (lowering, Cluster IR, rewrites,
+        scheduling, codegen and — when gated — verification) is skipped
+        and the kernel is rehydrated from the cached artifact; the
+        result is bitwise-identical to a cold build.
     """
 
     def __init__(self, expressions, name='Kernel', opt=True, mpi=None,
-                 progress=False, profiling=None, sanitizer=None):
+                 progress=False, profiling=None, sanitizer=None,
+                 cache=None):
         self.name = name
+        self._expressions = expressions
+        self._opt = opt
         self._mpi_requested = mpi if mpi is not None else \
             configuration['mpi']
-        self.schedule = build_schedule(expressions,
-                                       mpi_mode=self._mpi_requested,
-                                       opt=opt)
-        self.grid = self.schedule.grid
-        self.mpi_mode = self.schedule.mpi_mode
         self.profiler = Profiler(profiling if profiling is not None
                                  else configuration['profiling'])
         self._progress = bool(progress)
         self._sanitize = bool(sanitizer if sanitizer is not None
                               else configuration['sanitizer'])
-        self.kernel = generate_kernel(self.schedule, progress=progress,
+        #: the verify gate is on for opt='verify', or globally via
+        #: REPRO_OPT=verify — with explicit ``opt=False`` as the
+        #: debugging escape hatch that opts out of the global gate too
+        self._verify = opt == 'verify' or (opt is not False
+                                           and configuration['opt']
+                                           == 'verify')
+        #: the Schedule (None after a cache hit; the :attr:`schedule`
+        #: property rebuilds it on demand)
+        self._schedule = None
+        #: the AnalysisReport of the compile-time verify gate (None when
+        #: the gate was off; call :meth:`analyze` for an on-demand run)
+        self.analysis = None
+        self._cache_info = {'status': 'off', 'key': None, 'tier': None,
+                            'saved_seconds': 0.0, 'nbytes': 0}
+
+        from ..buildcache import fingerprint_build, get_cache
+        bcache = get_cache(cache)
+        key = symtab = None
+        if bcache is not None:
+            try:
+                key, symtab = fingerprint_build(
+                    expressions, mpi_mode=self._mpi_requested, opt=opt,
+                    verify=self._verify, sanitizer=self._sanitize,
+                    instrument=self.profiler.enabled,
+                    progress=self._progress)
+            except TypeError:
+                # inputs outside the token grammar: build cold, always
+                self._cache_info['status'] = 'uncacheable'
+        if key is not None:
+            self._cache_info['key'] = key
+            if self._warm_build(bcache, key, symtab):
+                return
+
+        tic = _time.perf_counter()
+        self._cold_build(expressions, opt)
+        build_seconds = _time.perf_counter() - tic
+        self.profiler.record_build_time('build', build_seconds)
+        if key is not None:
+            self._cache_info['status'] = 'miss'
+            bcache.note_miss()
+            try:
+                from ..codegen.artifact import KernelArtifact
+                bcache.store(key, KernelArtifact.extract(
+                    self, build_seconds=build_seconds))
+            except Exception:  # noqa: BLE001 - caching is best-effort
+                pass
+
+    # -- build-time plumbing ----------------------------------------------------
+
+    def _cold_build(self, expressions, opt):
+        """The full pipeline: lower, schedule, codegen, (verify), bind."""
+        self._schedule = build_schedule(expressions,
+                                        mpi_mode=self._mpi_requested,
+                                        opt=opt)
+        self.grid = self._schedule.grid
+        self.mpi_mode = self._schedule.mpi_mode
+        self.kernel = generate_kernel(self._schedule,
+                                      progress=self._progress,
                                       profiler=self.profiler,
                                       sanitizer=self._sanitize)
-        #: the AnalysisReport of the compile-time verify gate (None when
-        #: the gate was off; call :meth:`analyze` for an on-demand run).
-        #: An explicit ``opt=False`` is the debugging escape hatch and
-        #: opts out of the global ``REPRO_OPT=verify`` gate too.
-        self.analysis = None
-        if opt == 'verify' or (opt is not False
-                               and configuration['opt'] == 'verify'):
+        if self._verify:
             from ..analysis import verify_schedule
-            self.analysis = verify_schedule(self.schedule,
+            self.analysis = verify_schedule(self._schedule,
                                             kernel=self.kernel,
                                             profiler=self.profiler)
         self._bind_sparse_plans()
-        self._flops_per_point = self.schedule.flops_per_point()
-        self._traffic_per_point = self.schedule.traffic_per_point(
+        self._flops_per_point = self._schedule.flops_per_point()
+        self._traffic_per_point = self._schedule.traffic_per_point(
             self.grid.dtype.itemsize)
 
-    # -- build-time plumbing ----------------------------------------------------
+    def _warm_build(self, bcache, key, symtab):
+        """Rehydrate a cached artifact; False (-> cold build) on any
+        problem.  A warm kernel is bitwise-identical to a cold one: the
+        cached source was generated from identical inputs (that is what
+        the fingerprint asserts) and everything runtime-dependent —
+        sparse routing, exchanger transports, constants — is rebuilt
+        against the live objects."""
+        artifact, tier = bcache.lookup(key)
+        if artifact is None:
+            return False
+        tic = _time.perf_counter()
+        try:
+            kernel = artifact.rehydrate(symtab, progress=self._progress,
+                                        profiler=self.profiler)
+            p = artifact.payload
+            functions = [symtab.functions[n] for n in p['functions']]
+            sparse = [symtab.sparse[n] for n in p['sparse_functions']]
+            constants = [symtab.constants[n] for n in p['constants']]
+        except Exception:  # noqa: BLE001 - any defect means cold build
+            bcache.note_miss(nerrors=1)
+            return False
+        self.kernel = kernel
+        self.grid = functions[0].grid
+        self.mpi_mode = p['mpi_mode']
+        self._warm_functions = functions
+        self._warm_sparse = sparse
+        self._warm_constants = constants
+        self._warm_uses_dt = bool(p['uses_dt'])
+        self._flops_per_point = p['flops_per_point']
+        self._traffic_per_point = p['traffic_per_point']
+        self.analysis = artifact.rehydrate_analysis(kernel=kernel)
+        if self.analysis is not None:
+            # the verify gate was satisfied by the cached cold build;
+            # this build paid (essentially) nothing for it
+            self.profiler.record_build_time('analysis', 0.0)
+        elapsed = _time.perf_counter() - tic
+        self.profiler.record_build_time('build', elapsed)
+        saved = max(artifact.build_seconds - elapsed, 0.0)
+        bcache.note_hit(artifact, tier, saved_seconds=saved)
+        self._cache_info.update(status='hit', tier=tier,
+                                saved_seconds=saved,
+                                nbytes=artifact.nbytes)
+        return True
 
     def _bind_sparse_plans(self):
         for sid, step in enumerate(self.schedule.steps):
@@ -121,6 +222,52 @@ class Operator:
             }
 
     # -- introspection -------------------------------------------------------------
+
+    @property
+    def schedule(self):
+        """The operator's :class:`~repro.ir.schedule.Schedule`.
+
+        After a cache hit no schedule exists (that is the point of the
+        cache); the rare consumers that genuinely need one — ``ccode``,
+        :meth:`analyze`, schedule-mutating tests, shrink recovery —
+        trigger a lazy rebuild here.  The pipeline is deterministic, so
+        the rebuilt schedule matches the cached kernel.
+        """
+        if self._schedule is None:
+            self._schedule = build_schedule(self._expressions,
+                                            mpi_mode=self._mpi_requested,
+                                            opt=self._opt)
+        return self._schedule
+
+    @schedule.setter
+    def schedule(self, value):
+        self._schedule = value
+
+    @property
+    def functions(self):
+        """The discrete functions this operator reads/writes (without
+        forcing a schedule rebuild after a cache hit)."""
+        if self._schedule is None:
+            return list(self._warm_functions)
+        return self._schedule.functions
+
+    @property
+    def sparse_functions(self):
+        """The sparse functions of this operator (schedule-rebuild-free,
+        like :attr:`functions`)."""
+        if self._schedule is None:
+            return list(self._warm_sparse)
+        return self._schedule.sparse_functions
+
+    def cache_info(self):
+        """How this operator was built.
+
+        Returns a dict with ``status`` ('hit' / 'miss' / 'off' /
+        'uncacheable'), the fingerprint ``key``, the serving ``tier``
+        ('memory' / 'disk' / None), ``saved_seconds`` (cold build cost
+        minus rehydration cost, on a hit) and the artifact ``nbytes``.
+        """
+        return dict(self._cache_info)
 
     @property
     def pycode(self):
@@ -197,13 +344,13 @@ class Operator:
             raise ValueError("this Operator needs a 'dt' argument")
 
         arrays = {}
-        for f in self.schedule.functions:
+        for f in self.functions:
             arrays[f.name] = f.data.with_halo
 
         time_m = int(kwargs.get('time_m', 0))
         time_M = kwargs.get('time_M')
         if time_M is None:
-            nts = [s.nt for s in self.schedule.sparse_functions
+            nts = [s.nt for s in self.sparse_functions
                    if getattr(s, 'is_SparseTimeFunction', False)]
             if nts:
                 time_M = min(nts) - 1
@@ -296,7 +443,15 @@ class Operator:
                                   self._traffic_per_point, nmessages=nmsg,
                                   sections=sections, nranks=nranks,
                                   level=prof.level, traces=traces,
-                                  comm_health=comm_health)
+                                  comm_health=comm_health,
+                                  build=self._build_summary())
+
+    def _build_summary(self):
+        """The compile-phase record carried by every summary: per-stage
+        build wall times plus the build-cache outcome of this op."""
+        out = dict(self._cache_info)
+        out['times'] = dict(self.profiler.build_times)
+        return out
 
     def _make_controller(self, kwargs):
         """Pop the resilience kwargs (falling back to ``configuration``)
@@ -371,6 +526,8 @@ class Operator:
     # -- helpers ----------------------------------------------------------------------
 
     def _constants(self):
+        if self._schedule is None:
+            return list(self._warm_constants)
         out = {}
         for cluster in self.schedule.clusters:
             for _, rhs in cluster.temps:
@@ -393,6 +550,8 @@ class Operator:
         return list(out.values())
 
     def _uses_dt(self):
+        if self._schedule is None:
+            return self._warm_uses_dt
         for _, rhs in self.schedule.scalar_assignments:
             for node in preorder(rhs):
                 if node.is_Symbol and node.name == 'dt':
@@ -414,6 +573,10 @@ class Operator:
         return False
 
     def __repr__(self):
+        if self._schedule is None:
+            return ('Operator(%s, cached[%s], mpi=%s, flops/pt=%d)'
+                    % (self.name, self._cache_info['tier'], self.mpi_mode,
+                       self._flops_per_point))
         return ('Operator(%s, clusters=%d, mpi=%s, flops/pt=%d)'
                 % (self.name, len(self.schedule.clusters), self.mpi_mode,
                    self._flops_per_point))

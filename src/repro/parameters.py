@@ -160,12 +160,27 @@ class Configuration(MutableMapping):
             'health_max', default=1e12, env='REPRO_HEALTH_MAX',
             converter=self._convert_positive_float,
             description='amplitude bound for the blowup health check'))
+        self.register(Parameter(
+            'build_cache', default='memory', env='REPRO_CACHE',
+            accepted=('on', 'memory', 'disk', 'off'),
+            converter=self._convert_cache,
+            description='content-addressed operator build cache: on '
+                        '(memory + disk tiers), memory (in-process '
+                        'only, the default), disk, or off'))
+        self.register(Parameter(
+            'cache_dir', default='.repro_cache', env='REPRO_CACHE_DIR',
+            converter=str,
+            description='directory of the on-disk build-cache tier'))
 
         for key, spec in self._registry.items():
             value = spec.default
             if spec.env is not None and spec.env in environ:
                 value = environ[spec.env]
             self[key] = value
+        # pointing REPRO_CACHE_DIR somewhere implies wanting the disk
+        # tier: escalate the default mode (an explicit REPRO_CACHE wins)
+        if 'REPRO_CACHE_DIR' in environ and 'REPRO_CACHE' not in environ:
+            self['build_cache'] = 'on'
 
     @staticmethod
     def _convert_mpi(value):
@@ -185,6 +200,20 @@ class Configuration(MutableMapping):
         if isinstance(value, str) and value.strip().lower() == 'verify':
             return 'verify'
         return _as_bool(value)
+
+    @staticmethod
+    def _convert_cache(value):
+        # boolean-like shorthand: True -> 'on', False -> 'off'
+        if isinstance(value, str) and value.strip().lower() in (_TRUE
+                                                                | _FALSE):
+            value = _as_bool(value)
+        if value is True:
+            return 'on'
+        if value is False or value is None:
+            return 'off'
+        if isinstance(value, str):
+            return value.strip().lower()
+        return value
 
     @staticmethod
     def _convert_faults(value):

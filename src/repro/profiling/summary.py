@@ -83,7 +83,7 @@ class PerformanceSummary(Mapping):
 
     def __init__(self, points, timesteps, elapsed, flops_per_point,
                  traffic_per_point, nmessages=0, sections=None, nranks=1,
-                 level='off', traces=None, comm_health=None):
+                 level='off', traces=None, comm_health=None, build=None):
         self.points = points          # grid points updated per timestep
         self.timesteps = timesteps
         self.elapsed = elapsed
@@ -99,6 +99,12 @@ class PerformanceSummary(Mapping):
         #: commlog, fault-injected drops/duplicates, redeliveries and
         #: retries) — populated on simulated-MPI runs
         self.comm_health = dict(comm_health or {})
+        #: compile-phase record: per-stage build wall times (including
+        #: 'analysis' for the verify gate and 'build' for the whole
+        #: construction) plus the build-cache outcome — status
+        #: ('hit'/'miss'/'off'/'uncacheable'), serving tier, fingerprint
+        #: key, artifact bytes and estimated seconds saved
+        self.build = dict(build or {})
 
     # -- mapping protocol (keyed by section name) -------------------------------
 
@@ -155,6 +161,7 @@ class PerformanceSummary(Mapping):
                          for name, e in self._sections.items()},
             'traces': [list(t) for t in self.traces],
             'comm_health': dict(self.comm_health),
+            'build': dict(self.build),
         }
 
     def save_json(self, path):
@@ -184,6 +191,11 @@ class PerformanceSummary(Mapping):
                              self.oi))
         if self.nranks > 1:
             head += ', ranks=%d' % self.nranks
+        status = self.build.get('status')
+        if status in ('hit', 'miss'):
+            head += ', build=%s' % status
+            if status == 'hit' and self.build.get('saved_seconds'):
+                head += ' (saved %.3fs)' % self.build['saved_seconds']
         head += ')'
         if not self._sections:
             return head

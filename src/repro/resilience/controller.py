@@ -127,8 +127,8 @@ class ResilienceController:
             tic = _time.perf_counter()
             nbytes = self.checkpointer.restore(
                 step, manifest, self.comm, self.world,
-                self.op.schedule.functions,
-                self.op.schedule.sparse_functions)
+                self.op.functions,
+                self.op.sparse_functions)
             self._charge('restore', tic, nbytes, step)
             self.t0 = step
             return step
@@ -151,15 +151,15 @@ class ResilienceController:
             self._save(time)
 
     def _health_fields(self):
-        fields = [f for f in self.op.schedule.functions
+        fields = [f for f in self.op.functions
                   if getattr(f, 'is_TimeFunction', False)]
-        return fields or list(self.op.schedule.functions)
+        return fields or list(self.op.functions)
 
     def _save(self, step):
         tic = _time.perf_counter()
         nbytes = self.checkpointer.save(
-            step, self.comm, self.world, self.op.schedule.functions,
-            self.op.schedule.sparse_functions, self.op.grid.distributor)
+            step, self.comm, self.world, self.op.functions,
+            self.op.sparse_functions, self.op.grid.distributor)
         self._charge('checkpoint', tic, nbytes, step)
 
     def _charge(self, section, tic, nbytes, step):
@@ -213,5 +213,5 @@ class ResilienceController:
             world.recovery_stats['recovery_time'] += elapsed
         self.t0 = step
         arrays = {f.name: f.data.with_halo
-                  for f in self.op.schedule.functions}
+                  for f in self.op.functions}
         return step, arrays, self.comm

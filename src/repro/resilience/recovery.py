@@ -60,8 +60,8 @@ def perform_restart(op, comm, checkpointer):
 
     step, manifest = world.coordinate(comm.rank, plan)
     nbytes = checkpointer.restore(step, manifest, comm, world,
-                                  op.schedule.functions,
-                                  op.schedule.sparse_functions)
+                                  op.functions,
+                                  op.sparse_functions)
     return step, nbytes
 
 
@@ -104,11 +104,11 @@ def perform_shrink(op, comm, checkpointer):
     topology = shrink_dims(grid.distributor.topology, new_world.size)
     new_dist = Distributor(grid.shape, comm=base, topology=topology)
     grid.distributor = new_dist
-    functions = op.schedule.functions
+    functions = op.functions
     for f in functions:
         # fresh (zeroed) allocation under the new decomposition
         f._data = Data(f._dim_specs(), new_dist, dtype=f.dtype)
-    for s in op.schedule.sparse_functions:
+    for s in op.sparse_functions:
         s._routing = None  # point-ownership plans depend on the topology
 
     # iteration boxes and exchangers are compile-time constants of the
@@ -120,7 +120,7 @@ def perform_shrink(op, comm, checkpointer):
 
     nbytes = repartition_restore(checkpointer, step, manifest,
                                  new_dist.comm, new_dist, functions,
-                                 op.schedule.sparse_functions, new_world)
+                                 op.sparse_functions, new_world)
     return new_dist.comm, step, nbytes
 
 

@@ -20,6 +20,8 @@ from .solve import solve
 from .rewriting import (Temp, collect_mul_coeff, cse, factorize,
                         hoist_invariants)
 from .printing import CPrinter, PyPrinter, ccode, pycode
+from .hashing import (TokenEmitter, canonical_tokens,
+                      structural_fingerprint)
 
 __all__ = [  # noqa: F405
     'Add', 'Atom', 'Expr', 'Float', 'Half', 'Indexed', 'Integer', 'MinusOne',
@@ -32,4 +34,5 @@ __all__ = [  # noqa: F405
     'Derivative', 'expand_derivatives', 'expr_stagger', 'indexify',
     'solve', 'Temp', 'collect_mul_coeff', 'cse', 'factorize',
     'hoist_invariants', 'CPrinter', 'PyPrinter', 'ccode', 'pycode',
+    'TokenEmitter', 'canonical_tokens', 'structural_fingerprint',
 ]

@@ -142,7 +142,7 @@ def test_modes_and_rank_counts_agree(case):
 RECOVERY_CASES = CASES if ALL_RECOVERY else CASES[:2]
 
 
-def _operator_job(comm, case, mode, **apply_kwargs):
+def _operator_job(comm, case, mode, cache=None, **apply_kwargs):
     """Diffusion on the case's grid/topology; returns the global field."""
     shape = case['shape']
     grid = Grid(shape=shape, extent=tuple(float(s - 1) for s in shape),
@@ -152,7 +152,7 @@ def _operator_job(comm, case, mode, **apply_kwargs):
     u.data[0] = _initial(shape)
     eq = Eq(u.dt, u.laplace)
     op = Operator([Eq(u.forward, solve(eq, u.forward))],
-                  mpi=mode if comm is not None else None)
+                  mpi=mode if comm is not None else None, cache=cache)
     op.apply(time_M=case['steps'] + 2, dt=0.002, **apply_kwargs)
     return u.data.gather()
 
@@ -177,6 +177,35 @@ def test_mid_run_kill_restart_matches_serial(case, tmp_path):
                 assert np.array_equal(field, reference), (case, mode)
     finally:
         configuration['faults'] = saved
+
+
+# -- the same property through the build cache -------------------------------
+
+WARM_CASES = CASES[:3]
+
+
+@pytest.mark.parametrize('case', WARM_CASES,
+                         ids=['case%d' % i
+                              for i in range(len(WARM_CASES))])
+def test_warm_builds_preserve_equivalence(case, tmp_path):
+    """Cache-warm operators are invisible to the cross-mode property:
+    for sampled configurations, a disk-rehydrated kernel produces the
+    same bits as the cold build that populated the entry — under every
+    communication pattern, against the serial cache-off reference."""
+    from repro.buildcache import BuildCache
+
+    reference = _operator_job(None, case, 'basic', cache=False)
+    cache = BuildCache('disk', str(tmp_path))
+    for mode in MODES:
+        for repeat in range(2):          # populate, then rehydrate
+            out = run_parallel(
+                lambda c: _operator_job(c, case, mode, cache=cache),
+                case['ranks'])
+            for field in out:
+                assert np.array_equal(field, reference), \
+                    (case, mode, repeat)
+    # every rank of every mode hit on its second build
+    assert cache.stats['hits'] == len(MODES) * case['ranks']
 
 
 @pytest.mark.parametrize('mode', MODES)

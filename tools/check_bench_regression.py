@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Gate a benchmark trajectory artifact against its committed baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py BENCH_build.json \
+        benchmarks/BENCH_build_baseline.json [--tolerance 0.25]
+
+Both files are ``bench_*`` payloads with a top-level ``metrics`` dict.
+Only *ratio* metrics (speedups and other machine-independent numbers)
+are gated; anything ending in ``_ms`` is an absolute wall time recorded
+for trend plots and is ignored here, because CI runners have wildly
+varying clock speeds.
+
+A metric regresses when::
+
+    current < baseline * (1 - tolerance)
+
+i.e. with the default 25% tolerance a baseline speedup of 8.0x fails
+below 6.0x.  Metrics present in the current payload but absent from the
+baseline are reported informationally and never fail the gate (they are
+new; commit an updated baseline to start gating them).  Metrics present
+in the baseline but missing from the current payload *do* fail — a
+silently disappearing measurement is itself a regression.
+
+Exit status: 0 = clean, 1 = regression(s), 2 = unusable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, encoding='utf-8') as f:
+            payload = json.load(f)
+    except (OSError, ValueError) as e:
+        print('error: cannot read %s: %s' % (path, e), file=sys.stderr)
+        raise SystemExit(2)
+    metrics = payload.get('metrics')
+    if not isinstance(metrics, dict) or not metrics:
+        print('error: %s has no "metrics" dict' % path, file=sys.stderr)
+        raise SystemExit(2)
+    return {k: v for k, v in metrics.items()
+            if isinstance(v, (int, float)) and not k.endswith('_ms')}
+
+
+def compare(current, baseline, tolerance):
+    """Return (failures, report_lines)."""
+    failures = []
+    lines = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append('  NEW   %-32s current %.3f (unbaselined)'
+                         % (name, cur))
+            continue
+        if cur is None:
+            failures.append(name)
+            lines.append('  GONE  %-32s baseline %.3f, missing from '
+                         'current payload' % (name, base))
+            continue
+        floor = base * (1.0 - tolerance)
+        status = 'ok' if cur >= floor else 'FAIL'
+        if status == 'FAIL':
+            failures.append(name)
+        lines.append('  %-5s %-32s current %8.3f  baseline %8.3f  '
+                     'floor %8.3f' % (status, name, cur, base, floor))
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description='Fail when ratio metrics regress past the tolerance '
+                    'relative to a committed baseline.')
+    parser.add_argument('current', help='freshly generated BENCH_*.json')
+    parser.add_argument('baseline', help='committed baseline BENCH_*.json')
+    parser.add_argument('--tolerance', type=float, default=0.25,
+                        help='allowed fractional drop (default 0.25)')
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print('error: --tolerance must be in [0, 1)', file=sys.stderr)
+        return 2
+
+    current = load_metrics(args.current)
+    baseline = load_metrics(args.baseline)
+
+    failures, lines = compare(current, baseline, args.tolerance)
+    print('bench regression gate: %s vs %s (tolerance %d%%)'
+          % (args.current, args.baseline, round(args.tolerance * 100)))
+    for ln in lines:
+        print(ln)
+    if failures:
+        print('REGRESSION: %d metric(s) below the tolerance floor: %s'
+              % (len(failures), ', '.join(failures)))
+        return 1
+    print('clean: %d gated metric(s) within tolerance' % len(baseline))
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(main())
