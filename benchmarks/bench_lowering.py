@@ -1,0 +1,146 @@
+"""Cold lowering/codegen time vs space order: the hash-consing payoff.
+
+Operator construction cost is dominated by symbolic work (derivative
+expansion, CSE, factorization) whose input size grows steeply with the
+discretization order.  On a hash-consed DAG that work is memoized per
+*unique* node, so the build time scales with the DAG, not the tree.
+This benchmark sweeps the four seismic propagators over space orders and
+records, per configuration:
+
+* ``*_ms``         cold ``Operator`` build wall time (best-of-``REPEAT``;
+                   recorded for trend plots, never gated — CI runner
+                   clocks vary);
+* ``*_sharing``    the DAG sharing ratio (tree nodes / unique nodes) of
+                   the lowered stencil expressions.  Deterministic and
+                   machine-independent, so the regression gate holds it:
+                   if interning or a memo regresses, shared subtrees
+                   duplicate and the ratio collapses toward 1.0.
+
+Run as a module to (re)generate the ``BENCH_lowering.json`` trajectory
+artifact consumed by the CI ``bench`` job::
+
+    PYTHONPATH=src python benchmarks/bench_lowering.py [-o BENCH_lowering.json]
+"""
+
+import time
+
+import pytest
+
+from repro.models.seismic import (acoustic_setup, elastic_setup, tti_setup,
+                                  viscoelastic_setup)
+
+#: timed build repetitions (best-of, to shed scheduler noise)
+REPEAT = 3
+
+#: space orders swept per propagator (the paper's Figure 4 axis)
+ORDERS = (4, 8, 12, 16)
+
+SETUPS = {
+    'acoustic': acoustic_setup,
+    'elastic': elastic_setup,
+    'tti': tti_setup,
+    'viscoelastic': viscoelastic_setup,
+}
+
+
+def _solver(kernel, space_order):
+    """A fresh, un-built solver (every build below is genuinely cold)."""
+    ret = SETUPS[kernel](shape=(24, 24), space_order=space_order,
+                         tn=10.0, nbl=2)
+    return ret[0] if isinstance(ret, tuple) else ret
+
+
+def _cold_build_ms(kernel, space_order, repeat=REPEAT):
+    """Best-of-n cold build time in ms.
+
+    ``solver.op`` is a lazy property: the whole pipeline (lowering ->
+    Cluster IR -> rewrites -> schedule -> codegen) runs on first access.
+    A fresh solver per repetition keeps every build cold — new grids and
+    functions mean new interned subtrees, so nothing carries over except
+    pure-symbol expressions.
+    """
+    best = float('inf')
+    for _ in range(repeat):
+        solver = _solver(kernel, space_order)
+        tic = time.perf_counter()
+        solver.op
+        best = min(best, (time.perf_counter() - tic) * 1e3)
+    return best
+
+
+def _sharing(kernel, space_order):
+    """Aggregate DAG sharing ratio of the lowered stencil updates.
+
+    sum(tree nodes) / sum(unique nodes) over the RHS of every update
+    equation — 1.0 means no sharing at all (interning broken), higher is
+    better.  Purely structural, hence deterministic across machines.
+    """
+    solver = _solver(kernel, space_order)
+    tree = unique = 0
+    for eq in solver._equations():
+        _, rhs = eq.lower()
+        stats = rhs.dag_stats()
+        tree += stats['tree_nodes']
+        unique += stats['unique_nodes']
+    return tree / unique
+
+
+@pytest.mark.parametrize('kernel', sorted(SETUPS))
+def test_lowered_dag_shares_subtrees(kernel):
+    """Every propagator's lowered form must actually be a DAG: stencil
+    expansions reuse spacing reciprocals and shifted accesses heavily."""
+    ratio = _sharing(kernel, 8)
+    print('\n%s so8 sharing: %.2fx' % (kernel, ratio))
+    assert ratio > 1.2
+
+
+def test_build_time_scales_with_dag():
+    """Smoke the sweep machinery on the cheapest configuration."""
+    ms = _cold_build_ms('acoustic', 4, repeat=1)
+    assert ms > 0.0
+
+
+def collect():
+    """All cases -> the BENCH_lowering.json payload."""
+    cases = {}
+    for kernel in sorted(SETUPS):
+        for so in ORDERS:
+            name = '%s_so%d' % (kernel, so)
+            cases[name] = {
+                'cold_ms': round(_cold_build_ms(kernel, so), 3),
+                'sharing': round(_sharing(kernel, so), 3),
+            }
+    metrics = {}
+    for name, r in cases.items():
+        metrics['%s_ms' % name] = r['cold_ms']
+        metrics['%s_sharing' % name] = r['sharing']
+    metrics['sharing_min'] = round(
+        min(r['sharing'] for r in cases.values()), 3)
+    return {
+        'benchmark': 'bench_lowering',
+        'repeat': REPEAT,
+        'orders': list(ORDERS),
+        'cases': cases,
+        'metrics': metrics,
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description='Measure cold Operator build time vs space order and '
+                    'write the BENCH_lowering.json trajectory artifact.')
+    parser.add_argument('-o', '--output', default='BENCH_lowering.json')
+    args = parser.parse_args(argv)
+    payload = collect()
+    from repro.ioutil import atomic_write_json
+    atomic_write_json(args.output, payload)
+    print(json.dumps(payload, indent=2))
+    print('wrote %s' % args.output)
+    return payload
+
+
+if __name__ == '__main__':
+    main()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Set, Tuple
 
-from ..symbolics import Temp, preorder
+from ..symbolics import Temp, unique_nodes
 from .diagnostics import Diagnostic
 from .footprint import Key
 from .render import describe_key
@@ -60,7 +60,7 @@ def check_bounds(schedule: Any) -> List[Diagnostic]:
 
 
 def _temps_in(expr: Any) -> Set[Temp]:
-    return {n for n in preorder(expr) if isinstance(n, Temp)}
+    return {n for n in unique_nodes(expr) if isinstance(n, Temp)}
 
 
 def check_dead_code(schedule: Any) -> List[Diagnostic]:

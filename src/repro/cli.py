@@ -193,6 +193,10 @@ def _analyze_parser():
                    help='disable CSE/factorization/hoisting')
     p.add_argument('--dump-schedule', action='store_true',
                    help='also print the human-readable schedule dump')
+    p.add_argument('--count-nodes', action='store_true',
+                   help='print DAG statistics of the scheduled '
+                        'expressions (unique vs tree node counts, '
+                        'sharing factor, depth)')
     return p
 
 
@@ -309,7 +313,8 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
 
 
 def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
-                topology=None, opt=True, dump_schedule=False, out=None):
+                topology=None, opt=True, dump_schedule=False,
+                count_nodes=False, out=None):
     """Build the operator (on every simulated rank when ``ranks > 1``)
     and run the static verifier over its schedule — no execution.
 
@@ -342,6 +347,13 @@ def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
              mpi if ranks > 1 else 'off', ranks), file=out)
     if dump_schedule:
         print(op.schedule.dump(), file=out)
+    if count_nodes:
+        stats = op.schedule.dag_stats()
+        print('DAG: %d roots | %d unique nodes | %d tree nodes | '
+              '%.2fx sharing | depth %d'
+              % (stats['roots'], stats['unique_nodes'],
+                 stats['tree_nodes'], stats['sharing'], stats['depth']),
+              file=out)
     print(report.render(), file=out)
     return report
 
@@ -446,7 +458,8 @@ def main(argv=None):
         report = run_analyze(args.kernel, args.shape, args.space_order,
                              nbl=args.nbl, mpi=args.mpi, ranks=args.ranks,
                              topology=args.topology, opt=not args.no_opt,
-                             dump_schedule=args.dump_schedule)
+                             dump_schedule=args.dump_schedule,
+                             count_nodes=args.count_nodes)
         if report.errors:
             raise SystemExit(1)
         return

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..mpi import core_region, remainder_regions
 from ..profiling import assign_section_names
-from ..symbolics import CPrinter, Indexed, Symbol, xreplace, preorder
+from ..symbolics import CPrinter, Indexed, Symbol, unique_nodes
 from .common import cluster_union_widths, function_nb
 
 __all__ = ['generate_c']
@@ -71,7 +71,7 @@ def _time_var_names(schedule):
 def _align_expr(expr, tvars):
     """Rewrite accesses: halo-aligned space indices, named time buffers."""
     mapping = {}
-    for node in preorder(expr):
+    for node in unique_nodes(expr):
         if not (node.is_Indexed and getattr(node.base,
                                             'is_DiscreteFunction', False)):
             continue
@@ -87,7 +87,7 @@ def _align_expr(expr, tvars):
             else:
                 new_indices.append(idx + halo[dim][0])
         mapping[node] = Indexed(func, *new_indices)
-    return xreplace(expr, mapping)
+    return expr.xreplace(mapping)
 
 
 def _params(schedule):

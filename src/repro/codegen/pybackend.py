@@ -422,7 +422,7 @@ def _emit_sparse(em, sid, step, dist):
 
 def _constant_names(schedule):
     from ..dsl.function import Constant
-    from ..symbolics import preorder
+    from ..symbolics import unique_nodes
     names = set()
     exprs = []
     for _, rhs in schedule.scalar_assignments:
@@ -434,7 +434,7 @@ def _constant_names(schedule):
         if step.is_sparse:
             exprs.append(step.expr)
     for e in exprs:
-        for node in preorder(e):
+        for node in unique_nodes(e):
             if isinstance(node, Constant):
                 names.add(node.name)
     return names

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..symbolics import (Derivative, Indexed, S, expand_derivatives,
-                         indexify, preorder, xreplace)
+from ..symbolics import Derivative, S, expand_derivatives, indexify
 from ..symbolics import solve as _solve
 from .function import DiscreteFunction, TimeFunction
 from .tensor import TensorExpr, VectorExpr
@@ -101,8 +100,12 @@ def _apply_x0(expr, x0_map):
     """
     if not x0_map:
         return S(expr)
+    memo = {}
 
     def rebuild(node):
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit[1]
         if not node.args and not node.is_Derivative:
             return node
         new_args = [rebuild(a) for a in node.args]
@@ -111,12 +114,15 @@ def _apply_x0(expr, x0_map):
             merged.update(node.x0)
             # keep only offsets for the dimensions being differentiated
             # or appearing in the sampled expression's staggering
-            return Derivative(new_args[0], *node.derivs,
-                              fd_order=node.fd_order, x0=merged,
-                              offsets=node.offsets)
-        if all(na is a for na, a in zip(new_args, node.args)):
-            return node
-        return node.func(*new_args)
+            result = Derivative(new_args[0], *node.derivs,
+                                fd_order=node.fd_order, x0=merged,
+                                offsets=node.offsets)
+        elif all(na is a for na, a in zip(new_args, node.args)):
+            result = node
+        else:
+            result = node.func(*new_args)
+        memo[id(node)] = (node, result)
+        return result
 
     return rebuild(S(expr))
 

@@ -23,7 +23,7 @@ from ..dsl.sparse import PrecomputedSparseData
 from ..mpi.faults import RankKilledError
 from ..mpi.sim import RemoteRankError
 from ..profiling import PerformanceSummary, Profiler
-from ..symbolics import preorder
+from ..symbolics import unique_nodes
 
 __all__ = ['Operator', 'PerformanceSummary', 'RESILIENCE_KWARGS']
 
@@ -531,20 +531,20 @@ class Operator:
         out = {}
         for cluster in self.schedule.clusters:
             for _, rhs in cluster.temps:
-                for node in preorder(rhs):
+                for node in unique_nodes(rhs):
                     if isinstance(node, Constant):
                         out[node.name] = node
             for eq in cluster.eqs:
-                for node in preorder(eq.rhs):
+                for node in unique_nodes(eq.rhs):
                     if isinstance(node, Constant):
                         out[node.name] = node
         for _, rhs in self.schedule.scalar_assignments:
-            for node in preorder(rhs):
+            for node in unique_nodes(rhs):
                 if isinstance(node, Constant):
                     out[node.name] = node
         for step in self.schedule.steps:
             if step.is_sparse:
-                for node in preorder(step.expr):
+                for node in unique_nodes(step.expr):
                     if isinstance(node, Constant):
                         out[node.name] = node
         return list(out.values())
@@ -553,21 +553,21 @@ class Operator:
         if self._schedule is None:
             return self._warm_uses_dt
         for _, rhs in self.schedule.scalar_assignments:
-            for node in preorder(rhs):
+            for node in unique_nodes(rhs):
                 if node.is_Symbol and node.name == 'dt':
                     return True
         for cluster in self.schedule.clusters:
             for _, rhs in cluster.temps:
-                for node in preorder(rhs):
+                for node in unique_nodes(rhs):
                     if node.is_Symbol and node.name == 'dt':
                         return True
             for eq in cluster.eqs:
-                for node in preorder(eq.rhs):
+                for node in unique_nodes(eq.rhs):
                     if node.is_Symbol and node.name == 'dt':
                         return True
         for step in self.schedule.steps:
             if step.is_sparse:
-                for node in preorder(step.expr):
+                for node in unique_nodes(step.expr):
                     if node.is_Symbol and node.name == 'dt':
                         return True
         return False

@@ -236,7 +236,7 @@ def _dims_of(arg):
     if hasattr(arg, 'grid'):
         return arg.grid.dimensions
     # fall back: find a DiscreteFunction inside the expression(s)
-    from ..symbolics import preorder
+    from ..symbolics import unique_nodes
     exprs = []
     if isinstance(arg, VectorExpr):
         exprs = list(arg.components)
@@ -245,7 +245,7 @@ def _dims_of(arg):
     else:
         exprs = [S(arg)]
     for e in exprs:
-        for node in preorder(S(e)):
+        for node in unique_nodes(S(e)):
             grid = getattr(node, 'grid', None)
             if grid is None and node.is_Indexed:
                 grid = getattr(node.base, 'grid', None)
@@ -257,7 +257,7 @@ def _dims_of(arg):
 def _order_of(arg):
     if hasattr(arg, 'space_order'):
         return arg.space_order
-    from ..symbolics import preorder
+    from ..symbolics import unique_nodes
     exprs = []
     if isinstance(arg, VectorExpr):
         exprs = list(arg.components)
@@ -266,7 +266,7 @@ def _order_of(arg):
     else:
         exprs = [S(arg)]
     for e in exprs:
-        for node in preorder(S(e)):
+        for node in unique_nodes(S(e)):
             so = getattr(node, 'space_order', None)
             if so is None and node.is_Indexed:
                 so = getattr(node.base, 'space_order', None)

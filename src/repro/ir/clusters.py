@@ -11,8 +11,8 @@ runs the flop-reducing rewrites (CSE, factorization, invariant hoisting)
 from __future__ import annotations
 
 from ..mpi import HaloWidths
-from ..symbolics import (Temp, count_ops, cse, factorize, hoist_invariants,
-                         preorder)
+from ..symbolics import (Temp, cse, factorize, has_indexed,
+                         hoist_invariants)
 from .lowered import LoweredEq
 
 __all__ = ['Cluster', 'HaloRequirement', 'clusterize', 'optimize_clusters']
@@ -115,9 +115,9 @@ class Cluster:
         """Scalar operations per grid point (compile-time flop count)."""
         total = 0
         for _, rhs in self.temps:
-            total += count_ops(rhs)
+            total += rhs.count_ops()
         for eq in self.eqs:
-            total += count_ops(eq.rhs)
+            total += eq.rhs.count_ops()
         return total
 
     def traffic_per_point(self, dtype_size=4):
@@ -183,8 +183,9 @@ def optimize_clusters(clusters, opt=True):
         return Temp(next(counter))
 
     def invariant_p(node):
-        # loop-invariant: no array access anywhere below
-        return not any(n.is_Indexed for n in preorder(node))
+        # loop-invariant: no array access anywhere below (memoized over
+        # the global DAG, so repeat queries on shared subtrees are O(1))
+        return not has_indexed(node)
 
     scalar_assignments = []
     if not opt:

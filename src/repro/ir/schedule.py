@@ -112,6 +112,38 @@ class Schedule:
     def flops_per_point(self):
         return sum(c.flops_per_point() for c in self.clusters)
 
+    def dag_stats(self):
+        """Aggregate DAG statistics of every scheduled expression.
+
+        Unlike per-expression :meth:`Expr.dag_stats`, nodes shared
+        *across* clusters and temporaries count once — this is the
+        number of distinct symbolic objects the lowering pipeline
+        actually processed.  ``sharing`` (tree / unique) is the factor
+        hash-consing saved over a plain-tree representation.
+        """
+        from ..symbolics import unique_nodes
+        roots = []
+        for cluster in self.clusters:
+            roots.extend(rhs for _, rhs in cluster.temps)
+            roots.extend(eq.rhs for eq in cluster.eqs)
+        seen = {}
+        tree_total = 0
+        depth = 0
+        for root in roots:
+            stats = root.dag_stats()
+            tree_total += stats['tree_nodes']
+            depth = max(depth, stats['depth'])
+            for node in unique_nodes(root):
+                seen.setdefault(id(node), node)
+        unique = len(seen)
+        return {
+            'roots': len(roots),
+            'unique_nodes': unique,
+            'tree_nodes': tree_total,
+            'sharing': (tree_total / unique) if unique else 1.0,
+            'depth': depth,
+        }
+
     def traffic_per_point(self, dtype_size=4):
         return sum(c.traffic_per_point(dtype_size) for c in self.clusters)
 

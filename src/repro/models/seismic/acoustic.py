@@ -34,14 +34,18 @@ class AcousticWaveSolver:
         self.u = TimeFunction(name='u', grid=model.grid,
                               space_order=self.space_order, time_order=2)
 
+    def _equations(self):
+        m, damp, u = self.model.m, self.model.damp, self.u
+        pde = m * u.dt2 - u.laplace + damp * u.dt
+        return [Eq(u.forward, solve(pde, u.forward))]
+
     @property
     def op(self):
         if self._op is None:
-            m, damp, u = self.model.m, self.model.damp, self.u
-            pde = m * u.dt2 - u.laplace + damp * u.dt
-            stencil = Eq(u.forward, solve(pde, u.forward))
+            u = self.u
+            m = self.model.m
             dt = self.model.grid.time_dim.spacing
-            exprs = [stencil]
+            exprs = list(self._equations())
             if self.src is not None:
                 exprs.append(self.src.inject(field=u.forward,
                                              expr=self.src * dt ** 2 / m))

@@ -5,12 +5,30 @@ operators), exact numbers, elementary functions, unevaluated
 :class:`Derivative` nodes with Fornberg finite-difference expansion,
 linear :func:`solve`, flop-reducing rewrites (CSE, factorization,
 invariant hoisting) and C/NumPy printers.
+
+Expressions are immutable, hash-consed DAG nodes; the traversal and
+rewrite entry points live on :class:`Expr` itself:
+
+====================================  =====================================
+deprecated free function              replacement
+====================================  =====================================
+``xreplace(e, m)``                    ``e.xreplace(m)`` (or ``e.subs(m)``)
+``expand(e)``                         ``e.expand()``
+``count_ops(e)``                      ``e.count_ops()``
+``free_symbols(e)``                   ``e.free_symbols``
+``diff(e, x)``                        ``e.diff(x)``
+====================================  =====================================
+
+The free functions still work but emit :class:`DeprecationWarning`.
+Structure-level helpers (``preorder``, ``postorder``, ``unique_nodes``,
+``contains``, ``linear_coeffs``, ``indexeds``) remain plain functions.
 """
 
 from .expr import (Add, Atom, Expr, Float, Half, Indexed, Integer, MinusOne,
-                   Mul, Number, One, Pow, Rational, S, Symbol, Zero,
-                   contains, count_ops, expand, free_symbols, indexeds,
-                   linear_coeffs, postorder, preorder, sympify, xreplace)
+                   Mul, Number, One, Pow, Rational, S, Symbol, WeakIdMemo,
+                   Zero, contains, count_ops, diff, expand, free_symbols,
+                   has_indexed, indexeds, linear_coeffs, postorder, preorder,
+                   sympify, unique_nodes, xreplace)
 from .functions import (FUNCTION_REGISTRY, Abs, AppliedFunction, Max, Min,
                         ceiling, cos, exp, floor, log, sin, sqrt, tan)
 from .fd import fd_weights, fornberg_weights, sample_offsets
@@ -24,15 +42,26 @@ from .hashing import (TokenEmitter, canonical_tokens,
                       structural_fingerprint)
 
 __all__ = [  # noqa: F405
+    # expression core
     'Add', 'Atom', 'Expr', 'Float', 'Half', 'Indexed', 'Integer', 'MinusOne',
     'Mul', 'Number', 'One', 'Pow', 'Rational', 'S', 'Symbol', 'Zero',
-    'contains', 'count_ops', 'expand', 'free_symbols', 'indexeds',
-    'linear_coeffs', 'postorder', 'preorder', 'sympify', 'xreplace',
+    'sympify',
+    # traversal / queries
+    'contains', 'indexeds', 'linear_coeffs', 'postorder', 'preorder',
+    'unique_nodes', 'has_indexed', 'WeakIdMemo',
+    # deprecated free-function shims (use the Expr methods instead)
+    'count_ops', 'diff', 'expand', 'free_symbols', 'xreplace',
+    # elementary functions
     'FUNCTION_REGISTRY', 'Abs', 'AppliedFunction', 'Max', 'Min', 'ceiling',
     'cos', 'exp', 'floor', 'log', 'sin', 'sqrt', 'tan',
+    # finite differences and derivatives
     'fd_weights', 'fornberg_weights', 'sample_offsets',
     'Derivative', 'expand_derivatives', 'expr_stagger', 'indexify',
+    # solving and rewriting
     'solve', 'Temp', 'collect_mul_coeff', 'cse', 'factorize',
-    'hoist_invariants', 'CPrinter', 'PyPrinter', 'ccode', 'pycode',
+    'hoist_invariants',
+    # printing
+    'CPrinter', 'PyPrinter', 'ccode', 'pycode',
+    # fingerprints
     'TokenEmitter', 'canonical_tokens', 'structural_fingerprint',
 ]

@@ -5,13 +5,21 @@ differentiate and with which discretization (dimension, derivative order,
 FD accuracy order, evaluation point).  ``evaluate`` lowers it into an
 explicit weighted sum of shifted array accesses using exact Fornberg
 weights — the "Equations lowering" stage of the paper's Figure 1.
+
+Expansion and indexification are pure functions of the node, so both are
+memoized in global :class:`~.expr.WeakIdMemo` tables: the TTI propagator
+solves two coupled PDEs sharing their rotated-derivative subDAGs, and the
+scheduler re-lowers the same equations the solver already lowered — with
+hash-consing those shared nodes are *identical* objects, so the second
+traversal is a table hit instead of a re-expansion.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
-from .expr import Add, Expr, Mul, Pow, Rational, S, xreplace, preorder
+from .expr import (Add, Expr, Mul, Pow, Rational, S, WeakIdMemo,
+                   unique_nodes)
 from .fd import fd_weights
 
 __all__ = ['Derivative', 'expand_derivatives', 'indexify', 'expr_stagger']
@@ -27,14 +35,31 @@ def _as_fraction(value):
     return Fraction(value)
 
 
+#: node -> indexified node; pure per object, shared across all lowerings
+_INDEXIFY_MEMO = WeakIdMemo()
+
+
 def indexify(expr):
     """Replace leaf DSL function atoms with their default array accesses."""
-    expr = S(expr)
-    mapping = {}
-    for node in preorder(expr):
+
+    def rec(node):
+        result = _INDEXIFY_MEMO.get(node)
+        if result is not None:
+            return result
         if getattr(node, 'is_DiscreteFunction', False):
-            mapping[node] = node.indexify()
-    return xreplace(expr, mapping)
+            result = node.indexify()
+        elif not node.args:
+            result = node
+        else:
+            new_args = [rec(a) for a in node.args]
+            if all(na is a for na, a in zip(new_args, node.args)):
+                result = node
+            else:
+                result = node.func(*new_args)
+        _INDEXIFY_MEMO.set(node, result)
+        return result
+
+    return rec(S(expr))
 
 
 def expr_stagger(expr, dim):
@@ -45,7 +70,7 @@ def expr_stagger(expr, dim):
     0 (node-centered).
     """
     staggers = set()
-    for node in preorder(S(expr)):
+    for node in unique_nodes(S(expr)):
         base = None
         if node.is_Indexed:
             base = node.base
@@ -79,11 +104,16 @@ class Derivative(Expr):
     offsets : dict, optional
         Explicit per-dimension sample offsets, overriding the canonical
         symmetric choice (used for one-sided time derivatives).
+
+    Instances are hash-consed and frozen: ``derivs``/``x0``/``offsets``
+    are fixed at construction (never mutate the dicts of a built node —
+    rebuild through the constructor instead).
     """
 
     __slots__ = ('derivs', 'fd_order', 'x0', 'offsets')
     _class_rank = 40
     is_Derivative = True
+    _interned = True
 
     def __init__(self, expr, *derivs, fd_order=2, x0=None, offsets=None):
         super().__init__(S(expr))
@@ -104,6 +134,19 @@ class Derivative(Expr):
     @classmethod
     def make(cls, expr, *derivs, **kwargs):
         return cls(expr, *derivs, **kwargs)
+
+    def _intern_key(self):
+        # dimensions are keyed by identity (they are per-grid objects);
+        # x0/offsets values canonicalize to Fraction so e.g. 0.5 and
+        # Rational(1, 2) evaluation points intern to the same node
+        derivs = tuple((id(dim), order) for dim, order in self.derivs)
+        x0_key = tuple(sorted(
+            (id(d), _as_fraction(v)) for d, v in self.x0.items()))
+        off_key = tuple(sorted(
+            (id(d), tuple(_as_fraction(o) for o in v))
+            for d, v in self.offsets.items()))
+        return (type(self), id(self.args[0]), derivs, self.fd_order,
+                x0_key, off_key)
 
     @property
     def func(self):
@@ -190,7 +233,12 @@ def _shift(expr, dim, offset):
     if offset.denominator != 1:
         raise ValueError("non-integer shift %s along %s (staggering "
                          "mismatch)" % (offset, dim))
-    return xreplace(expr, {dim: Add.make(dim, int(offset))})
+    return expr.xreplace({dim: Add.make(dim, int(offset))})
+
+
+#: Derivative node -> its fully expanded stencil; expansion is a pure
+#: function of the node, so the table is shared process-wide
+_DERIV_EXPAND_MEMO = WeakIdMemo()
 
 
 def expand_derivatives(expr):
@@ -199,15 +247,17 @@ def expand_derivatives(expr):
     memo = {}
 
     def rec(node):
-        hit = memo.get(node)
+        hit = memo.get(id(node))
         if hit is not None:
-            return hit
+            return hit[1]
         if node.is_Derivative:
-            inner = rec(node.args[0])
-            inner = indexify(inner)
-            result = inner
-            for dim, order in node.derivs:
-                result = node._expand_one(result, dim, order)
+            result = _DERIV_EXPAND_MEMO.get(node)
+            if result is None:
+                inner = indexify(rec(node.args[0]))
+                result = inner
+                for dim, order in node.derivs:
+                    result = node._expand_one(result, dim, order)
+                _DERIV_EXPAND_MEMO.set(node, result)
         elif not node.args:
             result = node
         else:
@@ -216,7 +266,7 @@ def expand_derivatives(expr):
                 result = node
             else:
                 result = node.func(*new_args)
-        memo[node] = result
+        memo[id(node)] = (node, result)
         return result
 
     return rec(S(expr))

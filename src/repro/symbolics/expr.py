@@ -1,42 +1,174 @@
-"""Core symbolic expression engine.
+"""Core symbolic expression engine: an immutable, hash-consed DAG.
 
 This module implements the small computer-algebra system that the rest of
 the stack is built on.  It plays the role SymPy plays for Devito: immutable
-expression trees with canonicalizing constructors (flattening, numeric
-folding, like-term collection), exact rational arithmetic (needed for
+expressions with canonicalizing constructors (flattening, numeric folding,
+like-term collection), exact rational arithmetic (needed for
 finite-difference weights), substitution and traversal utilities.
 
 Design notes
 ------------
-* Expressions are immutable and hash-cached.  ``Add``/``Mul``/``Pow`` go
-  through canonicalizing ``make`` classmethods; the Python-level operators
-  (``+``, ``*``, ...) route through those.
+* **Hash-consing.**  Nodes of the core classes (``Symbol``, the number
+  literals, ``Add``/``Mul``/``Pow``, ``Indexed``, applied functions and
+  ``Derivative``) are *interned*: construction routes through a
+  ``WeakValueDictionary`` so that structurally identical subexpressions
+  are the very same Python object.  Structural equality therefore
+  collapses to pointer identity for interned nodes, and every traversal
+  can be memoized by ``id(node)`` — O(unique DAG nodes) instead of
+  O(tree nodes).  The weak table never pins memory: a node lives exactly
+  as long as outside references (or referencing parents) keep it alive.
+* **Immutability is a contract.**  ``args`` and class-specific payloads
+  are set once at construction and never mutated afterwards; lazily
+  cached derived values (``_hash``, ``_str``, ``_skey``) are pure
+  functions of the node, so the lazy fill is idempotent and safe to
+  share.  Interned classes refuse ``__init__`` outside the factory path
+  (see :class:`_HashCons`), so a half-initialized or re-initialized node
+  can never enter the table.
+* **Identity vs equality.**  ``__eq__`` stays structural — required for
+  non-interned DSL subclasses (dimensions, grid functions) and for
+  comparing against plain Python numbers — but begins with an identity
+  fast path, which is the common case once interning is on.  Memo tables
+  key by ``id(node)`` and must keep the key node alive for the lifetime
+  of the entry (store ``(node, value)`` tuples, or use
+  :class:`WeakIdMemo` for global tables) so a recycled ``id`` can never
+  alias a dead key.
 * Numbers are exact where possible: ``Integer`` and ``Rational`` fold via
   :class:`fractions.Fraction`; any ``Float`` contaminates a fold to float,
   mirroring SymPy semantics.
 * Ordering of ``Add``/``Mul`` operands is canonical (class rank, then the
-  cached string form), which makes structural equality reliable and
-  printing deterministic.
+  cached sort key), which makes structural equality reliable and printing
+  deterministic.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+import warnings
+import weakref
 from fractions import Fraction
 from functools import reduce
 
 __all__ = [
     'Expr', 'Atom', 'Symbol', 'Number', 'Integer', 'Rational', 'Float',
     'Add', 'Mul', 'Pow', 'Indexed', 'S', 'sympify', 'Zero', 'One',
-    'MinusOne', 'Half', 'preorder', 'postorder', 'xreplace', 'contains',
+    'MinusOne', 'Half', 'preorder', 'postorder', 'unique_nodes',
+    'WeakIdMemo', 'has_indexed', 'diff', 'xreplace', 'contains',
     'count_ops', 'expand', 'linear_coeffs', 'free_symbols', 'indexeds',
 ]
 
 
-class Expr:
-    """Base class of all symbolic expressions."""
+# -- interning machinery -----------------------------------------------------------
 
-    __slots__ = ('args', '_hash', '_str', '_skey')
+#: the global hash-consing table: intern key -> node.  Values are held
+#: weakly, so the table never keeps an expression alive by itself.
+_INTERN: 'weakref.WeakValueDictionary' = weakref.WeakValueDictionary()
+
+#: thread-local construction depth; nonzero exactly while the metaclass
+#: factory path is running (SPMD simulation builds expressions from
+#: several rank threads concurrently, so this must not be global state)
+_BUILDING = threading.local()
+
+
+class _HashCons(type):
+    """Metaclass routing construction of interned classes through the table.
+
+    A class opts in by declaring ``_interned = True`` **in its own body**;
+    the flag is deliberately not inherited (the metaclass translates it to
+    a concrete per-class ``_hashcons`` attribute), so DSL subclasses that
+    carry identity-bearing state — grids, data buffers, per-grid spacing —
+    stay ordinary objects unless they opt in themselves.
+
+    The factory constructs the candidate node first and only then computes
+    its intern key from the *constructed* object: argument coercion
+    (``int(value)``, sympify of children) has already happened, so the key
+    is canonical.  Keys embed ``id(child)`` rather than child equality —
+    see :meth:`Expr._intern_key` for why that is both safe and required.
+    """
+
+    def __new__(mcls, name, bases, namespace):
+        cls = super().__new__(mcls, name, bases, namespace)
+        cls._hashcons = bool(namespace.get('_interned', False))
+        return cls
+
+    def __call__(cls, *args, **kwargs):
+        if not cls._hashcons:
+            return super().__call__(*args, **kwargs)
+        normalized = cls._normalize(*args, **kwargs)
+        if normalized is not None:
+            return normalized
+        depth = getattr(_BUILDING, 'depth', 0)
+        _BUILDING.depth = depth + 1
+        try:
+            obj = super().__call__(*args, **kwargs)
+        finally:
+            _BUILDING.depth = depth
+        # setdefault is the whole interning step: either the structurally
+        # identical node already lives in the table (return it, drop the
+        # candidate) or the candidate becomes the canonical node
+        return _INTERN.setdefault(obj._intern_key(), obj)
+
+
+class WeakIdMemo:
+    """A global memo table keyed by node identity, entries die with the key.
+
+    Maps ``id(node) -> value`` without keeping ``node`` alive: the entry
+    holds a weak reference to the key node and evicts itself when the node
+    is collected, so a later object reusing the same ``id`` can never read
+    a stale value.  Lookups additionally verify the referent *is* the
+    queried node.  Use for compositional pure functions whose results are
+    worth sharing across calls (derivative expansion, indexification);
+    per-call memos should stay plain dicts storing ``(node, value)``.
+    """
+
+    __slots__ = ('_data',)
+
+    #: sentinel meaning "the cached value is the key node itself" — stored
+    #: instead of the node so the entry does not strongly pin its own key
+    _SAME = object()
+
+    def __init__(self):
+        self._data = {}
+
+    def get(self, node, default=None):
+        entry = self._data.get(id(node))
+        if entry is None:
+            return default
+        ref, value = entry
+        if ref() is not node:
+            return default
+        return node if value is WeakIdMemo._SAME else value
+
+    def set(self, node, value):
+        key = id(node)
+        data = self._data
+
+        def _evict(ref, key=key, data=data):
+            entry = data.get(key)
+            if entry is not None and entry[0] is ref:
+                del data[key]
+
+        if value is node:
+            value = WeakIdMemo._SAME
+        data[key] = (weakref.ref(node, _evict), value)
+
+    def __len__(self):
+        return len(self._data)
+
+
+class Expr(metaclass=_HashCons):
+    """Base class of all symbolic expressions.
+
+    Instances are frozen by contract: ``args`` and all class-specific
+    payload attributes are assigned exactly once, inside ``__init__`` on
+    the factory path, and must never be mutated afterwards — interned
+    nodes are shared structurally across every expression that contains
+    them.  The only attributes written after construction are the
+    ``_hash``/``_str``/``_skey`` caches, which are pure functions of the
+    node.
+    """
+
+    __slots__ = ('args', '_hash', '_str', '_skey', '__weakref__')
 
     #: rank used for canonical ordering of operands (smaller sorts first)
     _class_rank = 50
@@ -52,10 +184,42 @@ class Expr:
     is_Derivative = False
 
     def __init__(self, *args):
+        if type(self)._hashcons and not getattr(_BUILDING, 'depth', 0):
+            raise TypeError(
+                "%s is hash-consed: construct instances through the class "
+                "call (or its make() factory); calling __init__ directly "
+                "would bypass interning" % type(self).__name__)
         self.args = args
         self._hash = None
         self._str = None
         self._skey = None
+
+    # -- interning hooks ------------------------------------------------------
+
+    @classmethod
+    def _normalize(cls, *args, **kwargs):
+        """Pre-construction rewrite hook for interned classes.
+
+        Return a finished :class:`Expr` to redirect construction (e.g.
+        ``Rational(4, 2)`` collapsing to ``Integer(2)``), or None to
+        proceed with normal construction of ``cls``.
+        """
+        return None
+
+    def _intern_key(self):
+        """The hash-consing key of this (fully constructed) node.
+
+        Children are keyed by ``id`` rather than by equality: structural
+        child equality may be weaker than semantic identity (two distinct
+        same-named DSL functions compare equal but bind different data),
+        and identity keys are also what makes interning O(1) per node.
+        The key's child ids can never dangle: the table *value* holds the
+        children strongly, and CPython clears weakrefs (removing the
+        entry) before the dying node releases its children.
+        """
+        key = [type(self)]
+        key.extend(map(id, self.args))
+        return tuple(key)
 
     # -- construction helpers ------------------------------------------------
 
@@ -191,26 +355,74 @@ class Expr:
     def __pos__(self):
         return self
 
-    # -- common queries -----------------------------------------------------------
+    # -- common queries (the public Expr method API) -----------------------------
+
+    def diff(self, *specs, fd_order=2, x0=None, offsets=None):
+        """An unevaluated :class:`~.derivative.Derivative` of this node.
+
+        ``specs`` are dimensions or ``(dimension, order)`` pairs, exactly
+        as the ``Derivative`` constructor takes them.
+        """
+        from .derivative import Derivative
+        return Derivative(self, *specs, fd_order=fd_order, x0=x0,
+                          offsets=offsets)
 
     def xreplace(self, mapping):
         """Replace exact subtree occurrences according to ``mapping``."""
-        return xreplace(self, mapping)
+        return _xreplace(self, mapping)
 
-    subs = xreplace
+    def subs(self, mapping):
+        """Alias of :meth:`xreplace` (exact structural substitution)."""
+        return _xreplace(self, mapping)
+
+    def expand(self):
+        """Distribute products over sums (and integer powers of sums)."""
+        return _expand(self)
+
+    def count_ops(self):
+        """Scalar flops to evaluate this expression once (DAG semantics)."""
+        return _count_ops(self)
+
+    def contains(self, target, memo=None):
+        """True if ``target`` occurs as a subexpression of this node."""
+        return contains(self, target, memo)
 
     @property
     def free_symbols(self):
-        return free_symbols(self)
+        return _free_symbols(self)
 
     def atoms(self, *types):
         """All atomic (leaf) subexpressions, optionally filtered by type."""
         types = types or (Atom,)
-        return {e for e in preorder(self) if isinstance(e, types)}
+        return {e for e in unique_nodes(self) if isinstance(e, types)}
 
     def evalf(self, bindings=None):
         """Numerically evaluate with ``bindings`` mapping atoms to numbers."""
         return _evalf(self, bindings or {})
+
+    def dag_stats(self):
+        """Sharing statistics of this expression's DAG.
+
+        Returns a dict with ``unique_nodes`` (distinct node objects),
+        ``tree_nodes`` (nodes of the fully unfolded tree), ``sharing``
+        (their ratio — 1.0 means no sharing) and ``depth``.  The ratio is
+        the direct measure of what hash-consing buys each traversal.
+        """
+        unique = 0
+        tree = {}
+        depth = {}
+        for node in _postorder_unique(self):
+            unique += 1
+            tree[id(node)] = 1 + sum(tree[id(a)] for a in node.args)
+            depth[id(node)] = 1 + max(
+                (depth[id(a)] for a in node.args), default=0)
+        tree_nodes = tree[id(self)]
+        return {
+            'unique_nodes': unique,
+            'tree_nodes': tree_nodes,
+            'sharing': tree_nodes / unique,
+            'depth': depth[id(self)],
+        }
 
 
 class Atom(Expr):
@@ -230,10 +442,14 @@ class Symbol(Atom):
     __slots__ = ('name',)
     _class_rank = 10
     is_Symbol = True
+    _interned = True
 
     def __init__(self, name, **kwargs):
         super().__init__()
         self.name = name
+
+    def _intern_key(self):
+        return (type(self), self.name)
 
     def _hashable(self):
         return (type(self).__name__, self.name)
@@ -251,6 +467,9 @@ class Number(Atom):
     __slots__ = ('value',)
     _class_rank = 0
     is_Number = True
+
+    def _intern_key(self):
+        return (type(self), self.value)
 
     def _hashable(self):
         return ('Number', self.value)
@@ -288,6 +507,7 @@ class Integer(Number):
     """An exact integer literal."""
 
     __slots__ = ()
+    _interned = True
 
     def __init__(self, value):
         super().__init__()
@@ -301,14 +521,15 @@ class Rational(Number):
     """An exact rational literal (auto-reduces; integers become Integer)."""
 
     __slots__ = ()
+    _interned = True
 
-    def __new__(cls, p, q=1):
+    @classmethod
+    def _normalize(cls, p, q=1):
         frac = Fraction(p, q)
         if frac.denominator == 1:
-            # integral value: collapse to Integer (fully constructed here;
-            # __init__ is skipped since Integer is not a Rational subclass)
+            # integral value: collapse to Integer
             return Integer(frac.numerator)
-        return object.__new__(cls)
+        return None
 
     def __init__(self, p, q=1):
         super().__init__()
@@ -333,10 +554,15 @@ class Float(Number):
     """An inexact floating-point literal."""
 
     __slots__ = ()
+    _interned = True
 
     def __init__(self, value):
         super().__init__()
         self.value = float(value)
+
+    def _intern_key(self):
+        # 0.0 == -0.0 but they print differently; keep them distinct
+        return (Float, self.value, math.copysign(1.0, self.value))
 
     def _sstr(self):
         return repr(self.value)
@@ -388,15 +614,18 @@ def S(obj):
 # -- numeric folding helpers ----------------------------------------------------
 
 def _num_add(a, b):
-    if isinstance(a, Float) or isinstance(b, Float):
+    if type(a) is Float or type(b) is Float:
         return Float(float(a.value) + float(b.value))
-    return _number(Fraction(a.value) + Fraction(b.value))
+    # int+int, int+Fraction and Fraction+Fraction are all exact
+    value = a.value + b.value
+    return Integer(value) if type(value) is int else _number(value)
 
 
 def _num_mul(a, b):
-    if isinstance(a, Float) or isinstance(b, Float):
+    if type(a) is Float or type(b) is Float:
         return Float(float(a.value) * float(b.value))
-    return _number(Fraction(a.value) * Fraction(b.value))
+    value = a.value * b.value
+    return Integer(value) if type(value) is int else _number(value)
 
 
 def _num_pow(base, exp):
@@ -416,11 +645,12 @@ class Add(Expr):
     __slots__ = ()
     _class_rank = 60
     is_Add = True
+    _interned = True
 
     @classmethod
     def make(cls, *args):
         terms = {}
-        const = Integer(0)
+        const = Zero
         stack = list(args)
         while stack:
             arg = S(stack.pop())
@@ -473,7 +703,7 @@ def _as_coeff_term(expr):
         if len(rest) == 1:
             return coeff, rest[0]
         return coeff, Mul(*rest)
-    return Integer(1), expr
+    return One, expr
 
 
 class Mul(Expr):
@@ -482,10 +712,11 @@ class Mul(Expr):
     __slots__ = ()
     _class_rank = 55
     is_Mul = True
+    _interned = True
 
     @classmethod
     def make(cls, *args):
-        coeff = Integer(1)
+        coeff = One
         powers = {}
         order = []
         stack = list(reversed(args))
@@ -503,7 +734,7 @@ class Mul(Expr):
                     powers[base] = exp
                     order.append(base)
         if coeff.value == 0:
-            return Integer(0)
+            return Zero
         out = []
         for base in order:
             exp = powers[base]
@@ -551,7 +782,7 @@ class Mul(Expr):
 def _as_base_exp(expr):
     if expr.is_Pow:
         return expr.args[0], expr.args[1]
-    return expr, Integer(1)
+    return expr, One
 
 
 class Pow(Expr):
@@ -560,20 +791,21 @@ class Pow(Expr):
     __slots__ = ()
     _class_rank = 45
     is_Pow = True
+    _interned = True
 
     @classmethod
     def make(cls, base, exp):
         base = S(base)
         exp = S(exp)
         if exp.is_Number and exp.value == 0:
-            return Integer(1)
+            return One
         if exp.is_Number and exp.value == 1:
             return base
         if base.is_Number and base.value == 1:
-            return Integer(1)
+            return One
         if base.is_Number and base.value == 0:
             if exp.is_Number and exp.value > 0:
-                return Integer(0)
+                return Zero
         if base.is_Number and exp.is_Number:
             folded = _num_pow(base, exp)
             if folded is not None:
@@ -614,6 +846,7 @@ class Indexed(Expr):
     __slots__ = ('base',)
     _class_rank = 20
     is_Indexed = True
+    _interned = True
 
     def __init__(self, base, *indices):
         super().__init__(*[S(i) for i in indices])
@@ -622,6 +855,14 @@ class Indexed(Expr):
     @classmethod
     def make(cls, base, *indices):
         return cls(base, *indices)
+
+    def _intern_key(self):
+        # the base is keyed by identity, NOT by its (name-based) equality:
+        # two distinct same-named functions bind different data and their
+        # accesses must stay distinct objects
+        key = [type(self), id(self.base)]
+        key.extend(map(id, self.args))
+        return tuple(key)
 
     @property
     def func(self):
@@ -657,7 +898,12 @@ Half = Rational(1, 2)
 # -- traversal / rewriting ----------------------------------------------------------
 
 def preorder(expr):
-    """Yield every node of ``expr`` in pre-order."""
+    """Yield every node of ``expr`` in pre-order, **with** multiplicity.
+
+    This is a tree walk: a subexpression shared n times is yielded n
+    times.  Occurrence counting (CSE) depends on that; prefer
+    :func:`unique_nodes` wherever set semantics are enough.
+    """
     stack = [expr]
     while stack:
         node = stack.pop()
@@ -666,7 +912,7 @@ def preorder(expr):
 
 
 def postorder(expr):
-    """Yield every node of ``expr`` in post-order."""
+    """Yield every node of ``expr`` in post-order (tree semantics)."""
     out = []
     stack = [expr]
     while stack:
@@ -676,17 +922,54 @@ def postorder(expr):
     return reversed(out)
 
 
-def xreplace(expr, mapping):
-    """Exact structural replacement with memoization over the DAG."""
+def unique_nodes(expr):
+    """Yield each distinct node of the expression DAG exactly once.
+
+    The DAG counterpart of :func:`preorder`: shared subexpressions are
+    visited once regardless of multiplicity, so a walk is O(unique nodes).
+    """
+    seen = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield node
+        stack.extend(node.args)
+
+
+def _postorder_unique(expr):
+    """Children-first walk over distinct DAG nodes (iterative)."""
+    seen = set()
+    stack = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        key = id(node)
+        if key in seen:
+            continue
+        seen.add(key)
+        stack.append((node, True))
+        for a in node.args:
+            stack.append((a, False))
+
+
+def _xreplace(expr, mapping):
+    """Exact structural replacement, memoized by node identity."""
     if not mapping:
         return expr
     memo = {}
 
     def rec(node):
-        key = node
-        hit = memo.get(key)
+        # entries pin their key node (id -> (node, result)) so an id
+        # recycled from a temporary cannot alias a live memo entry
+        hit = memo.get(id(node))
         if hit is not None:
-            return hit
+            return hit[1]
         if node in mapping:
             result = S(mapping[node])
         elif not node.args:
@@ -697,49 +980,72 @@ def xreplace(expr, mapping):
                 result = node
             else:
                 result = node.func(*new_args)
-        memo[key] = result
+        memo[id(node)] = (node, result)
         return result
 
     return rec(S(expr))
 
 
 def contains(expr, target, memo=None):
-    """True if ``target`` occurs as a subtree of ``expr``."""
+    """True if ``target`` occurs as a subexpression of ``expr``.
+
+    ``memo`` maps ``id(node) -> (node, bool)`` and may be shared between
+    calls with the same ``target`` (as :func:`linear_coeffs` does).
+    """
     if memo is None:
         memo = {}
-    key = id(expr)
-    hit = memo.get(key)
+    hit = memo.get(id(expr))
     if hit is not None:
-        return hit
-    if expr == target:
-        memo[key] = True
+        return hit[1]
+    if expr is target or expr == target:
+        memo[id(expr)] = (expr, True)
         return True
     result = any(contains(a, target, memo) for a in expr.args)
-    memo[key] = result
+    memo[id(expr)] = (expr, result)
     return result
 
 
-def free_symbols(expr):
+def _free_symbols(expr):
     """All :class:`Symbol` leaves, including those inside Indexed indices."""
-    return {e for e in preorder(expr) if e.is_Symbol}
+    return {e for e in unique_nodes(expr) if e.is_Symbol}
 
 
 def indexeds(expr):
-    """All :class:`Indexed` accesses in ``expr``."""
+    """All :class:`Indexed` accesses in ``expr`` (occurrence list)."""
     return [e for e in preorder(expr) if e.is_Indexed]
 
 
-def count_ops(expr):
+#: global memo for :func:`has_indexed` — the predicate is a pure function
+#: of the node, so it is shared across every hoisting/CSE pass
+_HAS_INDEXED_MEMO = WeakIdMemo()
+
+
+def has_indexed(expr):
+    """True if ``expr`` contains an :class:`Indexed` access (memoized)."""
+    hit = _HAS_INDEXED_MEMO.get(expr, None)
+    if hit is not None:
+        return hit
+    if expr.is_Indexed:
+        result = True
+    else:
+        result = any(has_indexed(a) for a in expr.args)
+    _HAS_INDEXED_MEMO.set(expr, result)
+    return result
+
+
+def _count_ops(expr):
     """Count scalar floating-point operations to evaluate ``expr`` once.
 
     This is the compile-time flop counter the paper uses to derive
-    operational intensity on the CPU (Section IV-C).
+    operational intensity on the CPU (Section IV-C).  Shared
+    subexpressions are charged once (DAG semantics), which makes the
+    count relative to the root — hence a per-call memo, never a global
+    one.
     """
     memo = {}
 
     def rec(node):
-        hit = memo.get(node)
-        if hit is not None:
+        if id(node) in memo:
             return 0  # shared subexpression: charged once (DAG semantics)
         ops = 0
         if node.is_Add or node.is_Mul:
@@ -755,20 +1061,20 @@ def count_ops(expr):
             ops += 5  # transcendental call cost
         for a in node.args:
             ops += rec(a)
-        memo[node] = True
+        memo[id(node)] = node
         return ops
 
     return rec(S(expr))
 
 
-def expand(expr):
+def _expand(expr):
     """Distribute products over sums (and integer powers of sums)."""
     memo = {}
 
     def rec(node):
-        hit = memo.get(node)
+        hit = memo.get(id(node))
         if hit is not None:
-            return hit
+            return hit[1]
         if not node.args:
             result = node
         elif node.is_Mul:
@@ -788,7 +1094,7 @@ def expand(expr):
         else:
             new_args = [rec(a) for a in node.args]
             result = node.func(*new_args)
-        memo[node] = result
+        memo[id(node)] = (node, result)
         return result
 
     return rec(S(expr))
@@ -830,22 +1136,70 @@ def linear_coeffs(expr, target):
 
 def _evalf(expr, bindings):
     from .functions import AppliedFunction
+    memo = {}
 
     def rec(node):
         if node.is_Number:
             return float(node.value)
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit[1]
         if node in bindings:
-            return float(bindings[node])
-        if node.is_Symbol or node.is_Indexed:
+            result = float(bindings[node])
+        elif node.is_Symbol or node.is_Indexed:
             raise ValueError("unbound atom %s in evalf" % (node,))
-        if node.is_Add:
-            return math.fsum(rec(a) for a in node.args)
-        if node.is_Mul:
-            return reduce(lambda x, y: x * y, (rec(a) for a in node.args))
-        if node.is_Pow:
-            return rec(node.args[0]) ** rec(node.args[1])
-        if isinstance(node, AppliedFunction):
-            return node._numeric(*[rec(a) for a in node.args])
-        raise ValueError("cannot evaluate %s" % (node,))
+        elif node.is_Add:
+            result = math.fsum(rec(a) for a in node.args)
+        elif node.is_Mul:
+            result = reduce(lambda x, y: x * y, (rec(a) for a in node.args))
+        elif node.is_Pow:
+            result = rec(node.args[0]) ** rec(node.args[1])
+        elif isinstance(node, AppliedFunction):
+            result = node._numeric(*[rec(a) for a in node.args])
+        else:
+            raise ValueError("cannot evaluate %s" % (node,))
+        memo[id(node)] = (node, result)
+        return result
 
     return rec(S(expr))
+
+
+# -- deprecated free-function shims -------------------------------------------------
+#
+# The traversal entry points moved onto Expr (see the method API above);
+# these module-level wrappers remain for source compatibility and warn.
+
+def _deprecated(name, replacement):
+    warnings.warn(
+        "repro.symbolics.%s() is deprecated; use %s instead"
+        % (name, replacement), DeprecationWarning, stacklevel=3)
+
+
+def diff(expr, *specs, fd_order=2, x0=None, offsets=None):
+    """Deprecated: use ``expr.diff(...)``."""
+    _deprecated('diff', 'Expr.diff()')
+    return S(expr).diff(*specs, fd_order=fd_order, x0=x0, offsets=offsets)
+
+
+def xreplace(expr, mapping):
+    """Deprecated: use ``expr.xreplace(mapping)``."""
+    _deprecated('xreplace', 'Expr.xreplace()')
+    return _xreplace(S(expr), mapping)
+
+
+def expand(expr):
+    """Deprecated: use ``expr.expand()``."""
+    _deprecated('expand', 'Expr.expand()')
+    return _expand(S(expr))
+
+
+def count_ops(expr):
+    """Deprecated: use ``expr.count_ops()``."""
+    _deprecated('count_ops', 'Expr.count_ops()')
+    return _count_ops(S(expr))
+
+
+def free_symbols(expr):
+    """Deprecated: use the ``Expr.free_symbols`` property."""
+    _deprecated('free_symbols', 'Expr.free_symbols')
+    return _free_symbols(S(expr))

@@ -15,7 +15,12 @@ __all__ = ['AppliedFunction', 'sin', 'cos', 'tan', 'sqrt', 'exp', 'log',
 
 
 class AppliedFunction(Expr):
-    """A named elementary function applied to symbolic arguments."""
+    """A named elementary function applied to symbolic arguments.
+
+    Concrete subclasses are hash-consed (``_interned``); the abstract base
+    itself is not, so DSL-side subclasses stay ordinary unless they opt
+    in explicitly.
+    """
 
     __slots__ = ()
     _class_rank = 30
@@ -51,48 +56,56 @@ class AppliedFunction(Expr):
 
 class _Sin(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'sin'
     _numeric = staticmethod(math.sin)
 
 
 class _Cos(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'cos'
     _numeric = staticmethod(math.cos)
 
 
 class _Tan(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'tan'
     _numeric = staticmethod(math.tan)
 
 
 class _Sqrt(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'sqrt'
     _numeric = staticmethod(math.sqrt)
 
 
 class _Exp(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'exp'
     _numeric = staticmethod(math.exp)
 
 
 class _Log(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'log'
     _numeric = staticmethod(math.log)
 
 
 class _Abs(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'abs'
     _numeric = staticmethod(abs)
 
 
 class _Floor(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'floor'
 
     @staticmethod
@@ -109,6 +122,7 @@ class _Floor(AppliedFunction):
 
 class _Ceiling(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'ceiling'
 
     @staticmethod
@@ -125,6 +139,7 @@ class _Ceiling(AppliedFunction):
 
 class _Min(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'min'
     nargs = 2
     _numeric = staticmethod(min)
@@ -132,6 +147,7 @@ class _Min(AppliedFunction):
 
 class _Max(AppliedFunction):
     __slots__ = ()
+    _interned = True
     fname = 'max'
     nargs = 2
     _numeric = staticmethod(max)

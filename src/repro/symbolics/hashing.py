@@ -24,6 +24,16 @@ Design
   compiled artifact.
 * Every token is a length-prefixed byte string, so distinct token
   sequences can never collide by concatenation ambiguity.
+* The walk is **O(unique DAG nodes)**: expressions are hash-consed
+  (:mod:`.expr`), so the emitter caches the byte stream of every node it
+  has serialized and replays it on re-encounter instead of re-walking
+  the subtree.  The emitted byte *stream* is identical to a naive tree
+  walk — caching changes cost, never content.  The one wrinkle is the
+  ``Grid`` token, which the seed grammar emits exactly once per emitter
+  at the *first* sighting of a function on that grid: the cache
+  therefore records a node's *steady-state* bytes (what a re-encounter
+  would emit, one-time tokens excluded) separately from the bytes of its
+  first emission.
 
 The hash function is BLAKE2b (16-byte digest): fast, keyed into the
 stdlib, and collision resistance far beyond the cache's needs.
@@ -53,9 +63,15 @@ class TokenEmitter:
     function, sparse function and runtime constant encountered, keyed by
     name.  The build cache uses the table to rebind a cached artifact to
     the live objects of the current build.
+
+    Parameters
+    ----------
+    cache : bool
+        Enable the per-node byte cache (on by default).  Exists so tests
+        can prove cached and uncached digests agree.
     """
 
-    def __init__(self):
+    def __init__(self, cache=True):
         self._h = hashlib.blake2b(digest_size=16)
         self._h.update(b'repro-fingerprint-v%d' % _GRAMMAR_VERSION)
         #: name -> DiscreteFunction
@@ -66,16 +82,36 @@ class TokenEmitter:
         self.constants = {}
         #: every distinct Grid seen (list, identity-deduplicated)
         self.grids = []
+        #: stack of [full, steady] bytearray pairs, one per in-flight
+        #: cached node emission; empty means bytes go straight to the hash
+        self._frames = []
+        #: id(node) -> (node, steady_bytes); the node reference pins the
+        #: id so it cannot be recycled while the entry is readable
+        self._cache = {} if cache else None
 
     # -- low-level token stream ------------------------------------------------
 
-    def raw(self, data):
-        self._h.update(b'%d:' % len(data))
-        self._h.update(data)
+    def _write(self, data, steady=True):
+        """Append bytes to the stream.
 
-    def token(self, *parts):
+        ``steady=False`` marks one-time side-band tokens (the ``Grid``
+        announcement): they reach the hash exactly once but are excluded
+        from the cached replay bytes of every enclosing node.
+        """
+        if self._frames:
+            frame = self._frames[-1]
+            frame[0] += data
+            if steady:
+                frame[1] += data
+        else:
+            self._h.update(data)
+
+    def raw(self, data, steady=True):
+        self._write(b'%d:' % len(data) + data, steady=steady)
+
+    def token(self, *parts, steady=True):
         for part in parts:
-            self.raw(str(part).encode('utf-8'))
+            self.raw(str(part).encode('utf-8'), steady=steady)
 
     # -- generic object dispatch ------------------------------------------------
 
@@ -110,7 +146,7 @@ class TokenEmitter:
                 self.emit(v)
             self.token('}')
         elif hasattr(obj, 'args') and hasattr(obj, 'is_Atom'):
-            self._emit_expr(obj)
+            self._emit_cached(obj)
         elif type(obj).__module__ == 'numpy' or \
                 type(obj).__name__ == 'dtype':
             self.token('np', str(obj))
@@ -127,6 +163,37 @@ class TokenEmitter:
         return sub.hexdigest()
 
     # -- expression nodes --------------------------------------------------------
+
+    def _emit_cached(self, expr):
+        """Emit an expression node through the per-node byte cache.
+
+        First encounter: serialize into a fresh frame, cache the node's
+        steady-state bytes, and forward the full bytes (one-time tokens
+        included) to the parent frame or the hash.  Re-encounter of the
+        same node object: replay the cached bytes — by then every
+        one-time token inside has already been announced, so steady
+        bytes are exactly what a re-walk would produce.
+        """
+        cache = self._cache
+        if cache is None:
+            self._emit_expr(expr)
+            return
+        hit = cache.get(id(expr))
+        if hit is not None:
+            self._write(hit[1])
+            return
+        self._frames.append([bytearray(), bytearray()])
+        try:
+            self._emit_expr(expr)
+        finally:
+            full, steady = self._frames.pop()
+        cache[id(expr)] = (expr, bytes(steady))
+        if self._frames:
+            parent = self._frames[-1]
+            parent[0] += full
+            parent[1] += steady
+        else:
+            self._h.update(bytes(full))
 
     def _emit_expr(self, expr):  # noqa: C901 - a flat node dispatcher
         if getattr(expr, 'is_DiscreteFunction', False):
@@ -207,11 +274,15 @@ class TokenEmitter:
     def _note_grid(self, grid):
         if all(g is not grid for g in self.grids):
             self.grids.append(grid)
-            self.token('Grid', tuple(grid.shape), str(grid.dtype))
+            # a one-time announcement, not part of any node's steady bytes
+            self.token('Grid', tuple(grid.shape), str(grid.dtype),
+                       steady=False)
 
     # -- result ---------------------------------------------------------------------
 
     def hexdigest(self):
+        if self._frames:
+            raise RuntimeError("hexdigest() called mid-emission")
         return self._h.hexdigest()
 
 

@@ -5,14 +5,18 @@ These are the Cluster-level optimizations of the paper's Figure 1
 factorization of shared numeric/spacing coefficients, and extraction of
 loop-invariant scalar subexpressions (reciprocals of grid spacings etc.)
 into temporaries ``r0, r1, ...`` exactly as seen in Listing 11.
+
+All passes here walk hash-consed DAGs: candidate filtering uses the
+memoized :func:`~.expr.has_indexed` predicate, and the rewrite memos are
+keyed by node identity (structurally equal interned nodes *are* the same
+object, so identity keying loses nothing and costs no hashing).
 """
 
 from __future__ import annotations
 
 import itertools
 
-from .expr import (Add, Expr, Integer, Mul, Pow, S, Symbol, preorder,
-                   count_ops, xreplace)
+from .expr import (Add, Integer, Mul, S, Symbol, has_indexed, preorder)
 
 __all__ = ['cse', 'factorize', 'hoist_invariants', 'Temp', 'collect_mul_coeff']
 
@@ -35,7 +39,11 @@ def _name_generator(start=0):
 def _walk_value_nodes(expr):
     """Pre-order walk that does NOT descend into Indexed index expressions
     (index arithmetic like ``x + 2`` is not a value computation and must
-    never be extracted into a temporary)."""
+    never be extracted into a temporary).
+
+    Deliberately a *tree* walk with multiplicity: CSE counts occurrences,
+    so a subexpression shared n times must be yielded n times.
+    """
     stack = [expr]
     while stack:
         node = stack.pop()
@@ -73,20 +81,20 @@ def cse(exprs, min_count=2, min_ops=1, mkname=None):
             counts[node] = counts.get(node, 0) + 1
 
     candidates = [n for n, c in counts.items()
-                  if c >= min_count and count_ops(n) >= min_ops
-                  and any(sub.is_Indexed for sub in preorder(n))]
+                  if c >= min_count and n.count_ops() >= min_ops
+                  and has_indexed(n)]
     if not candidates:
         return [], exprs
 
     # extract smaller expressions first so larger candidates reference
     # the temporaries of the nested ones (bottom-up CSE)
-    candidates.sort(key=count_ops)
+    candidates.sort(key=lambda n: n.count_ops())
 
     assignments = []
     mapping = {}
     for cand in candidates:
         # rewrite the candidate with already-extracted temps first
-        rewritten = xreplace(cand, mapping)
+        rewritten = cand.xreplace(mapping)
         temp = mkname()
         assignments.append((temp, rewritten))
         mapping[cand] = temp
@@ -94,9 +102,9 @@ def cse(exprs, min_count=2, min_ops=1, mkname=None):
     new_exprs = []
     for e in exprs:
         if isinstance(e, tuple):
-            new_exprs.append((e[0], xreplace(e[1], mapping)))
+            new_exprs.append((e[0], e[1].xreplace(mapping)))
         else:
-            new_exprs.append(xreplace(S(e), mapping))
+            new_exprs.append(S(e).xreplace(mapping))
 
     # drop temps that ended up unused (candidate only inside another candidate)
     used = set()
@@ -109,12 +117,12 @@ def cse(exprs, min_count=2, min_ops=1, mkname=None):
     pruned, final_map = [], {}
     for temp, rhs in assignments:
         if temp in used:
-            pruned.append((temp, xreplace(rhs, final_map)))
+            pruned.append((temp, rhs.xreplace(final_map)))
         else:
             final_map[temp] = rhs
     if final_map:
-        new_exprs = [(e[0], xreplace(e[1], final_map)) if isinstance(e, tuple)
-                     else xreplace(e, final_map) for e in new_exprs]
+        new_exprs = [(e[0], e[1].xreplace(final_map)) if isinstance(e, tuple)
+                     else e.xreplace(final_map) for e in new_exprs]
     return pruned, new_exprs
 
 
@@ -143,32 +151,44 @@ def factorize(expr):
     """Group the terms of sums by shared scalar prefactor.
 
     ``r1*a + r1*b + r2*c -> r1*(a + b) + r2*c`` — the flop-reduction
-    factorization of the Cluster IR.  Applied recursively.
+    factorization of the Cluster IR.  Applied recursively, memoized over
+    the DAG (shared subtrees factorize once).
     """
-    expr = S(expr)
-    if not expr.args:
-        return expr
-    new_args = [factorize(a) for a in expr.args]
-    rebuilt = expr.func(*new_args) if any(
-        na is not a for na, a in zip(new_args, expr.args)) else expr
-    if not rebuilt.is_Add:
-        return rebuilt
-    groups = {}
-    order = []
-    for term in rebuilt.args:
-        coeff, rest = collect_mul_coeff(term)
-        if coeff not in groups:
-            groups[coeff] = []
-            order.append(coeff)
-        groups[coeff].append(rest)
-    terms = []
-    for coeff in order:
-        rests = groups[coeff]
-        if len(rests) == 1:
-            terms.append(Mul.make(coeff, rests[0]))
-        else:
-            terms.append(Mul.make(coeff, Add.make(*rests)))
-    return Add.make(*terms) if len(terms) > 1 else terms[0]
+    memo = {}
+
+    def rec(node):
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit[1]
+        if not node.args:
+            memo[id(node)] = (node, node)
+            return node
+        new_args = [rec(a) for a in node.args]
+        rebuilt = node.func(*new_args) if any(
+            na is not a for na, a in zip(new_args, node.args)) else node
+        if not rebuilt.is_Add:
+            memo[id(node)] = (node, rebuilt)
+            return rebuilt
+        groups = {}
+        order = []
+        for term in rebuilt.args:
+            coeff, rest = collect_mul_coeff(term)
+            if coeff not in groups:
+                groups[coeff] = []
+                order.append(coeff)
+            groups[coeff].append(rest)
+        terms = []
+        for coeff in order:
+            rests = groups[coeff]
+            if len(rests) == 1:
+                terms.append(Mul.make(coeff, rests[0]))
+            else:
+                terms.append(Mul.make(coeff, Add.make(*rests)))
+        result = Add.make(*terms) if len(terms) > 1 else terms[0]
+        memo[id(node)] = (node, result)
+        return result
+
+    return rec(S(expr))
 
 
 def hoist_invariants(exprs, invariant_p, mkname=None):
@@ -185,25 +205,26 @@ def hoist_invariants(exprs, invariant_p, mkname=None):
     mapping = {}
 
     def visit(node):
-        if node in mapping:
-            return mapping[node]
+        hit = mapping.get(id(node))
+        if hit is not None:
+            return hit[1]
         if node.is_Atom or node.is_Indexed:
             return node
         if invariant_p(node):
             for temp, rhs in assignments:
                 if rhs == node:
-                    mapping[node] = temp
+                    mapping[id(node)] = (node, temp)
                     return temp
             temp = mkname()
             assignments.append((temp, node))
-            mapping[node] = temp
+            mapping[id(node)] = (node, temp)
             return temp
         new_args = [visit(a) for a in node.args]
         if all(na is a for na, a in zip(new_args, node.args)):
             result = node
         else:
             result = node.func(*new_args)
-        mapping[node] = result
+        mapping[id(node)] = (node, result)
         return result
 
     new_exprs = []
