@@ -39,7 +39,8 @@ import numpy as np
 
 from .mpi.faults import RankKilledError
 
-__all__ = ['main', 'run_analyze', 'run_benchmark', 'run_cache']
+__all__ = ['main', 'run_analyze', 'run_benchmark', 'run_cache',
+           'run_fetch', 'run_serve', 'run_status', 'run_submit']
 
 _SETUPS = None
 
@@ -197,6 +198,107 @@ def _analyze_parser():
                    help='print DAG statistics of the scheduled '
                         'expressions (unique vs tree node counts, '
                         'sharing factor, depth)')
+    return p
+
+
+def _submit_parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli submit',
+        description='Enqueue one shot for the survey service (a JSON '
+                    'spec under <dir>/queue, picked up by the next '
+                    '`repro serve`).')
+    p.add_argument('kernel', choices=['acoustic', 'elastic', 'tti',
+                                      'viscoelastic'])
+    p.add_argument('-d', '--shape', nargs='+', type=int,
+                   default=[51, 51], metavar='N',
+                   help='grid points per dimension (2 or 3 values)')
+    p.add_argument('--tn', type=float, default=100.0,
+                   help='simulation end time in ms')
+    p.add_argument('-so', '--space-order', type=int, default=4,
+                   help='spatial discretization order (SDO)')
+    p.add_argument('--nbl', type=int, default=10,
+                   help='absorbing boundary layer width in points')
+    p.add_argument('--nrec', type=int, default=8,
+                   help='number of surface receivers (0: none)')
+    p.add_argument('--dt', type=float, default=None,
+                   help='timestep override in ms (default CFL-stable)')
+    p.add_argument('--priority', type=int, default=0,
+                   help='scheduling priority; higher runs earlier, '
+                        'ties are FIFO')
+    p.add_argument('--inject-faults', default=None, metavar='SPEC',
+                   help='per-job fault plan (FaultPlan grammar, e.g. '
+                        '"seed=1,kill=0@5"); applied to this job\'s '
+                        'private world only')
+    p.add_argument('--retries', type=int, default=None, metavar='N',
+                   help='per-job retry budget override')
+    p.add_argument('--job-id', default=None,
+                   help='explicit job id (default: generated)')
+    p.add_argument('--dir', dest='service_dir', default=None,
+                   metavar='PATH',
+                   help='service root (default .repro_service or '
+                        'REPRO_SERVICE_DIR)')
+    return p
+
+
+def _serve_parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli serve',
+        description='Drain the queued shots over a warm operator pool: '
+                    'results land in <dir>/store, per-job records in '
+                    '<dir>/jobs, the batch report in <dir>/report.json. '
+                    'Exits nonzero when any job failed.')
+    p.add_argument('--dir', dest='service_dir', default=None,
+                   metavar='PATH',
+                   help='service root (default .repro_service or '
+                        'REPRO_SERVICE_DIR)')
+    p.add_argument('--workers', type=int, default=None, metavar='N',
+                   help='jobs in flight at once (default configuration '
+                        'service_workers)')
+    p.add_argument('--retries', type=int, default=None, metavar='N',
+                   help='default per-job retry budget (default '
+                        'configuration service_retries)')
+    p.add_argument('--cache', choices=['on', 'memory', 'disk', 'off'],
+                   default=None,
+                   help='build-cache mode backing the pool (default: '
+                        'configuration build_cache)')
+    p.add_argument('--keep-queue', action='store_true',
+                   help='leave consumed spec files in <dir>/queue '
+                        '(default: delete them after the drain)')
+    return p
+
+
+def _status_parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli status',
+        description='Show the survey service state: queued specs, '
+                    'per-job records and the latest batch report.')
+    p.add_argument('job_id', nargs='?', default=None,
+                   help='show one job\'s full record instead of the '
+                        'batch summary')
+    p.add_argument('--dir', dest='service_dir', default=None,
+                   metavar='PATH',
+                   help='service root (default .repro_service or '
+                        'REPRO_SERVICE_DIR)')
+    p.add_argument('--json', action='store_true',
+                   help='machine-readable JSON output')
+    return p
+
+
+def _fetch_parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli fetch',
+        description='Load a stored result array (CRC-verified) and '
+                    'write it to a .npy file or print its stats.')
+    p.add_argument('key',
+                   help='store key, e.g. <job-id>/wavefield or '
+                        '<job-id>/rec')
+    p.add_argument('-o', '--out', default=None, metavar='PATH',
+                   help='write the array as .npy here (default: print '
+                        'shape/dtype/norm only)')
+    p.add_argument('--dir', dest='service_dir', default=None,
+                   metavar='PATH',
+                   help='service root (default .repro_service or '
+                        'REPRO_SERVICE_DIR)')
     return p
 
 
@@ -442,8 +544,207 @@ def run_cache(action, cache_dir=None, min_hits=None, as_json=False,
     return 0
 
 
+def _service_dir(service_dir):
+    import os
+
+    from . import configuration
+    return os.path.abspath(service_dir if service_dir is not None
+                           else configuration['service_dir'])
+
+
+def run_submit(kernel, shape, tn=100.0, space_order=4, nbl=10, nrec=8,
+               dt=None, priority=0, faults=None, retries=None,
+               job_id=None, service_dir=None, out=None):
+    """The ``submit`` subcommand: enqueue one shot spec; returns its id."""
+    import os
+
+    from .service import ShotSpec, new_job_id
+
+    out = out if out is not None else sys.stdout
+    root = _service_dir(service_dir)
+    job_id = job_id or new_job_id()
+    spec = ShotSpec(kernel, tuple(shape), tn=tn, space_order=space_order,
+                    nbl=nbl, nrec=nrec, dt=dt, priority=priority,
+                    faults=faults, max_retries=retries, job_id=job_id)
+    queue = os.path.join(root, 'queue')
+    os.makedirs(queue, exist_ok=True)
+    path = os.path.join(queue, '%s.json' % job_id)
+    if os.path.exists(path):
+        raise SystemExit('job %s is already queued' % job_id)
+    spec.save(path)
+    print('queued %s: %r -> %s' % (job_id, spec, path), file=out)
+    return job_id
+
+
+def run_serve(service_dir=None, workers=None, retries=None, cache=None,
+              keep_queue=False, out=None):
+    """The ``serve`` subcommand: drain the queue over the warm pool.
+
+    Returns a process exit status (nonzero when any job failed), so a
+    scripted survey can gate on batch health.
+    """
+    import glob
+    import os
+
+    from .service import ShotSpec, SurveyScheduler
+
+    out = out if out is not None else sys.stdout
+    root = _service_dir(service_dir)
+    queue = os.path.join(root, 'queue')
+    paths = sorted(glob.glob(os.path.join(queue, '*.json')))
+    if not paths:
+        print('nothing queued under %s' % queue, file=out)
+        return 0
+    specs = []
+    for path in paths:
+        try:
+            specs.append((path, ShotSpec.load(path)))
+        except (ValueError, TypeError, OSError) as exc:
+            print('skipping unreadable spec %s: %s' % (path, exc),
+                  file=out)
+    sched = SurveyScheduler(workers=workers,
+                            store=os.path.join(root, 'store'),
+                            cache=cache, max_retries=retries,
+                            record_dir=os.path.join(root, 'jobs'))
+    for _, spec in specs:
+        sched.submit(spec)
+    print('serving %d job(s) with %d worker(s) from %s'
+          % (len(specs), sched.workers, queue), file=out)
+    report = sched.run()
+    if not keep_queue:
+        for path, _ in specs:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    print(report.render(), file=out)
+    print('report written to %s'
+          % os.path.join(root, 'jobs', 'report.json'), file=out)
+    return 1 if report.failed else 0
+
+
+def run_status(job_id=None, service_dir=None, as_json=False, out=None):
+    """The ``status`` subcommand: queued/recorded job state."""
+    import glob
+    import json as _json
+    import os
+
+    out = out if out is not None else sys.stdout
+    root = _service_dir(service_dir)
+    if job_id is not None:
+        path = os.path.join(root, 'jobs', '%s.json' % job_id)
+        try:
+            with open(path, encoding='utf-8') as f:
+                record = _json.load(f)
+        except FileNotFoundError:
+            queued = os.path.join(root, 'queue', '%s.json' % job_id)
+            if os.path.exists(queued):
+                record = {'job_id': job_id, 'state': 'queued'}
+            else:
+                print('no such job %s under %s' % (job_id, root),
+                      file=out)
+                return 1
+        if as_json:
+            print(_json.dumps(record, indent=2, sort_keys=True), file=out)
+        else:
+            for key in ('job_id', 'state', 'attempts', 'error',
+                        'latency_seconds', 'cache_statuses',
+                        'result_keys'):
+                if key in record:
+                    print('%-16s: %s' % (key, record[key]), file=out)
+        return 0
+    queued = sorted(
+        os.path.splitext(os.path.basename(p))[0]
+        for p in glob.glob(os.path.join(root, 'queue', '*.json')))
+    records = []
+    for path in sorted(glob.glob(os.path.join(root, 'jobs', '*.json'))):
+        if os.path.basename(path) == 'report.json':
+            continue
+        try:
+            with open(path, encoding='utf-8') as f:
+                records.append(_json.load(f))
+        except (OSError, ValueError):
+            continue
+    if as_json:
+        print(_json.dumps({'queued': queued, 'jobs': records}, indent=2,
+                          sort_keys=True), file=out)
+        return 0
+    print('service root %s: %d queued, %d recorded'
+          % (root, len(queued), len(records)), file=out)
+    for jid in queued:
+        print('  %-24s queued' % jid, file=out)
+    for record in records:
+        line = '  %-24s %-8s attempts=%s' % (
+            record.get('job_id'), record.get('state'),
+            record.get('attempts'))
+        if record.get('error'):
+            line += ' error=%s' % record['error']
+        print(line, file=out)
+    return 0
+
+
+def run_fetch(key, out_path=None, service_dir=None, out=None):
+    """The ``fetch`` subcommand: read one stored array (CRC-checked)."""
+    import os
+
+    from .service import ArrayStore, StoreError
+
+    out = out if out is not None else sys.stdout
+    root = _service_dir(service_dir)
+    store = ArrayStore(os.path.join(root, 'store'))
+    try:
+        array = store.get(key)
+    except KeyError:
+        print('no stored array %r (have: %s)'
+              % (key, ', '.join(store.keys()) or 'none'), file=out)
+        return 1
+    except StoreError as exc:
+        print('FAIL: %s' % exc, file=out)
+        return 1
+    print('%s: shape %s dtype %s | min %.6g max %.6g norm %.6g'
+          % (key, 'x'.join(map(str, array.shape)), array.dtype,
+             array.min(), array.max(), np.linalg.norm(array)), file=out)
+    if out_path:
+        np.save(out_path, array)
+        print('written to %s' % out_path, file=out)
+    return 0
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == 'submit':
+        args = _submit_parser().parse_args(argv[1:])
+        if len(args.shape) not in (2, 3):
+            raise SystemExit('-d expects 2 or 3 dimensions')
+        run_submit(args.kernel, args.shape, tn=args.tn,
+                   space_order=args.space_order, nbl=args.nbl,
+                   nrec=args.nrec, dt=args.dt, priority=args.priority,
+                   faults=args.inject_faults, retries=args.retries,
+                   job_id=args.job_id, service_dir=args.service_dir)
+        return
+    if argv and argv[0] == 'serve':
+        args = _serve_parser().parse_args(argv[1:])
+        status = run_serve(service_dir=args.service_dir,
+                           workers=args.workers, retries=args.retries,
+                           cache=args.cache, keep_queue=args.keep_queue)
+        if status:
+            raise SystemExit(status)
+        return
+    if argv and argv[0] == 'status':
+        args = _status_parser().parse_args(argv[1:])
+        status = run_status(job_id=args.job_id,
+                            service_dir=args.service_dir,
+                            as_json=args.json)
+        if status:
+            raise SystemExit(status)
+        return
+    if argv and argv[0] == 'fetch':
+        args = _fetch_parser().parse_args(argv[1:])
+        status = run_fetch(args.key, out_path=args.out,
+                           service_dir=args.service_dir)
+        if status:
+            raise SystemExit(status)
+        return
     if argv and argv[0] == 'cache':
         args = _cache_parser().parse_args(argv[1:])
         status = run_cache(args.action, cache_dir=args.cache_dir,
@@ -483,4 +784,11 @@ def main(argv=None):
 
 
 if __name__ == '__main__':
-    main()
+    try:
+        main()
+    except BrokenPipeError:
+        # downstream consumer (e.g. ``status --json | grep -q``) closed
+        # the pipe early; redirect stdout at the fd so the interpreter's
+        # exit-time flush doesn't raise a second time, and exit cleanly
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())

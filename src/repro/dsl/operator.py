@@ -25,13 +25,18 @@ from ..mpi.sim import RemoteRankError
 from ..profiling import PerformanceSummary, Profiler
 from ..symbolics import unique_nodes
 
-__all__ = ['Operator', 'PerformanceSummary', 'RESILIENCE_KWARGS']
+__all__ = ['Operator', 'PerformanceSummary', 'RESILIENCE_KWARGS',
+           'SERVICE_KWARGS']
 
 #: keyword arguments of ``apply`` consumed by the resilience machinery
 #: (everything else must name a grid spacing, a Constant or a time bound)
 RESILIENCE_KWARGS = ('recovery', 'checkpoint_every', 'checkpoint_dir',
                      'checkpoint_keep', 'max_recoveries',
                      'health_check_every', 'health_max', 'resume')
+
+#: keyword arguments of ``apply`` consumed by the survey service
+#: (job attribution on the returned summary; never reach the kernel)
+SERVICE_KWARGS = ('job_id',)
 
 
 class Operator:
@@ -332,10 +337,10 @@ class Operator:
         if unknown:
             raise ValueError(
                 "unknown argument(s) %s to apply(); accepted arguments: "
-                "%s; resilience options: %s"
+                "%s; resilience/service options: %s"
                 % (', '.join(map(repr, unknown)),
                    ', '.join(sorted(accepted)),
-                   ', '.join(RESILIENCE_KWARGS)))
+                   ', '.join(sorted(RESILIENCE_KWARGS + SERVICE_KWARGS))))
         for key, val in kwargs.items():
             if key in ('time_m', 'time_M'):
                 continue
@@ -386,6 +391,7 @@ class Operator:
         the newest valid checkpoint.  ``recovery='abort'`` (the
         default) preserves the plain behaviour above.
         """
+        job_id = kwargs.pop('job_id', None)
         controller = self._make_controller(kwargs)
         time_m, time_M, arrays, params = self.arguments(**kwargs)
         comm = self.grid.comm
@@ -444,7 +450,8 @@ class Operator:
                                   sections=sections, nranks=nranks,
                                   level=prof.level, traces=traces,
                                   comm_health=comm_health,
-                                  build=self._build_summary())
+                                  build=self._build_summary(),
+                                  job_id=job_id)
 
     def _build_summary(self):
         """The compile-phase record carried by every summary: per-stage

@@ -23,13 +23,14 @@ class AcousticWaveSolver:
     """
 
     def __init__(self, model, geometry_src, geometry_rec=None,
-                 space_order=None, mpi=None, opt=True):
+                 space_order=None, mpi=None, opt=True, cache=None):
         self.model = model
         self.space_order = space_order or model.space_order
         self.src = geometry_src
         self.rec = geometry_rec
         self.mpi = mpi
         self.opt = opt
+        self.cache = cache
         self._op = None
         self.u = TimeFunction(name='u', grid=model.grid,
                               space_order=self.space_order, time_order=2)
@@ -52,7 +53,8 @@ class AcousticWaveSolver:
             if self.rec is not None:
                 exprs.append(self.rec.interpolate(expr=u))
             self._op = Operator(exprs, name='ForwardAcoustic',
-                                mpi=self.mpi, opt=self.opt)
+                                mpi=self.mpi, opt=self.opt,
+                                cache=self.cache)
         return self._op
 
     def forward(self, time_M=None, dt=None, **apply_kwargs):
@@ -69,7 +71,8 @@ class AcousticWaveSolver:
 
 def acoustic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
                    space_order=4, vp=1.5, f0=0.025, comm=None,
-                   topology=None, mpi=None, nrec=None, opt=True):
+                   topology=None, mpi=None, nrec=None, opt=True,
+                   cache=None):
     """Build a ready-to-run acoustic solver on a layered model.
 
     Mirrors ``examples/seismic/acoustic/acoustic_example.py`` of the
@@ -113,5 +116,5 @@ def acoustic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
                        nt=time_range.num, coordinates=rec_coords)
 
     solver = AcousticWaveSolver(model, src, rec, space_order=space_order,
-                                mpi=mpi, opt=opt)
+                                mpi=mpi, opt=opt, cache=cache)
     return solver, time_range

@@ -34,13 +34,14 @@ class ElasticWaveSolver:
     """
 
     def __init__(self, model, geometry_src=None, geometry_rec=None,
-                 space_order=None, mpi=None, opt=True):
+                 space_order=None, mpi=None, opt=True, cache=None):
         self.model = model
         self.space_order = space_order or model.space_order
         self.src = geometry_src
         self.rec = geometry_rec
         self.mpi = mpi
         self.opt = opt
+        self.cache = cache
         self._op = None
         grid = model.grid
         self.v = VectorTimeFunction(name='v', grid=grid,
@@ -92,7 +93,8 @@ class ElasticWaveSolver:
                 from ...dsl.tensor import tr
                 exprs.append(self.rec.interpolate(expr=tr(self.tau)))
             self._op = Operator(exprs, name='ForwardElastic',
-                                mpi=self.mpi, opt=self.opt)
+                                mpi=self.mpi, opt=self.opt,
+                                cache=self.cache)
         return self._op
 
     def forward(self, time_M=None, dt=None, **apply_kwargs):
@@ -108,7 +110,8 @@ class ElasticWaveSolver:
 
 def elastic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
                   space_order=4, vp=2.0, vs=1.0, rho=1.8, f0=0.015,
-                  comm=None, topology=None, mpi=None, nrec=None, opt=True):
+                  comm=None, topology=None, mpi=None, nrec=None, opt=True,
+                  cache=None):
     """Build a ready-to-run elastic solver (layered medium, Ricker src)."""
     from .model import SeismicModel
 
@@ -139,5 +142,5 @@ def elastic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
                        nt=time_range.num, coordinates=rec_coords)
 
     solver = ElasticWaveSolver(model, src, rec, space_order=space_order,
-                               mpi=mpi, opt=opt)
+                               mpi=mpi, opt=opt, cache=cache)
     return solver, time_range

@@ -64,13 +64,14 @@ class TTIWaveSolver:
     """
 
     def __init__(self, model, geometry_src=None, geometry_rec=None,
-                 space_order=None, mpi=None, opt=True):
+                 space_order=None, mpi=None, opt=True, cache=None):
         self.model = model
         self.space_order = space_order or model.space_order
         self.src = geometry_src
         self.rec = geometry_rec
         self.mpi = mpi
         self.opt = opt
+        self.cache = cache
         self._op = None
         grid = model.grid
         self.p = TimeFunction(name='p', grid=grid,
@@ -115,7 +116,7 @@ class TTIWaveSolver:
             if self.rec is not None:
                 exprs.append(self.rec.interpolate(expr=self.p + self.q))
             self._op = Operator(exprs, name='ForwardTTI', mpi=self.mpi,
-                                opt=self.opt)
+                                opt=self.opt, cache=self.cache)
         return self._op
 
     def forward(self, time_M=None, dt=None, **apply_kwargs):
@@ -132,7 +133,7 @@ class TTIWaveSolver:
 def tti_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
               space_order=4, vp=1.5, epsilon=0.15, delta=0.1,
               theta=np.pi / 12, phi=np.pi / 10, f0=0.02, comm=None,
-              topology=None, mpi=None, nrec=None, opt=True):
+              topology=None, mpi=None, nrec=None, opt=True, cache=None):
     """Build a ready-to-run TTI solver with constant Thomsen parameters."""
     from .model import SeismicModel
 
@@ -167,5 +168,5 @@ def tti_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
                        nt=time_range.num, coordinates=rec_coords)
 
     solver = TTIWaveSolver(model, src, rec, space_order=space_order,
-                           mpi=mpi, opt=opt)
+                           mpi=mpi, opt=opt, cache=cache)
     return solver, time_range

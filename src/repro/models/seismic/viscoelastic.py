@@ -37,7 +37,8 @@ class ViscoelasticWaveSolver:
     """
 
     def __init__(self, model, geometry_src=None, geometry_rec=None,
-                 space_order=None, f0=0.01, mpi=None, opt=True):
+                 space_order=None, f0=0.01, mpi=None, opt=True,
+                 cache=None):
         self.model = model
         self.space_order = space_order or model.space_order
         self.src = geometry_src
@@ -45,6 +46,7 @@ class ViscoelasticWaveSolver:
         self.f0 = f0
         self.mpi = mpi
         self.opt = opt
+        self.cache = cache
         self._op = None
         grid = model.grid
         self.v = VectorTimeFunction(name='v', grid=grid,
@@ -119,7 +121,8 @@ class ViscoelasticWaveSolver:
                 from ...dsl.tensor import tr
                 exprs.append(self.rec.interpolate(expr=tr(self.sig)))
             self._op = Operator(exprs, name='ForwardViscoelastic',
-                                mpi=self.mpi, opt=self.opt)
+                                mpi=self.mpi, opt=self.opt,
+                                cache=self.cache)
         return self._op
 
     def forward(self, time_M=None, dt=None, **apply_kwargs):
@@ -136,7 +139,7 @@ class ViscoelasticWaveSolver:
 def viscoelastic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10,
                        tn=250.0, space_order=4, vp=2.2, vs=1.2, rho=2.0,
                        qp=100.0, qs=70.0, f0=0.01, comm=None, topology=None,
-                       mpi=None, nrec=None, opt=True):
+                       mpi=None, nrec=None, opt=True, cache=None):
     """Build a ready-to-run viscoelastic solver."""
     from .model import SeismicModel
 
@@ -168,5 +171,5 @@ def viscoelastic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10,
 
     solver = ViscoelasticWaveSolver(model, src, rec,
                                     space_order=space_order, f0=f0,
-                                    mpi=mpi, opt=opt)
+                                    mpi=mpi, opt=opt, cache=cache)
     return solver, time_range

@@ -171,6 +171,21 @@ class Configuration(MutableMapping):
             'cache_dir', default='.repro_cache', env='REPRO_CACHE_DIR',
             converter=str,
             description='directory of the on-disk build-cache tier'))
+        self.register(Parameter(
+            'service_dir', default='.repro_service',
+            env='REPRO_SERVICE_DIR', converter=str,
+            description='root directory of the survey service (job '
+                        'queue, records, array store, batch report)'))
+        self.register(Parameter(
+            'service_workers', default=2, env='REPRO_SERVICE_WORKERS',
+            converter=self._convert_positive_int,
+            description='bounded concurrency of the survey scheduler '
+                        '(jobs in flight at once)'))
+        self.register(Parameter(
+            'service_retries', default=1, env='REPRO_SERVICE_RETRIES',
+            converter=self._convert_nonneg_int,
+            description='default per-job retry budget for transport/'
+                        'fault failures in the survey scheduler'))
 
         for key, spec in self._registry.items():
             value = spec.default

@@ -10,7 +10,6 @@ per-section table including cross-rank min/max/avg for distributed runs.
 
 from __future__ import annotations
 
-import json
 from collections.abc import Mapping
 
 __all__ = ['PerfEntry', 'PerformanceSummary']
@@ -83,7 +82,8 @@ class PerformanceSummary(Mapping):
 
     def __init__(self, points, timesteps, elapsed, flops_per_point,
                  traffic_per_point, nmessages=0, sections=None, nranks=1,
-                 level='off', traces=None, comm_health=None, build=None):
+                 level='off', traces=None, comm_health=None, build=None,
+                 job_id=None):
         self.points = points          # grid points updated per timestep
         self.timesteps = timesteps
         self.elapsed = elapsed
@@ -105,6 +105,9 @@ class PerformanceSummary(Mapping):
         #: ('hit'/'miss'/'off'/'uncacheable'), serving tier, fingerprint
         #: key, artifact bytes and estimated seconds saved
         self.build = dict(build or {})
+        #: survey-service job attribution (``apply(job_id=...)``); None
+        #: for solo runs
+        self.job_id = job_id
 
     # -- mapping protocol (keyed by section name) -------------------------------
 
@@ -162,6 +165,7 @@ class PerformanceSummary(Mapping):
             'traces': [list(t) for t in self.traces],
             'comm_health': dict(self.comm_health),
             'build': dict(self.build),
+            'job_id': self.job_id,
         }
 
     def save_json(self, path):

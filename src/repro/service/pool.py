@@ -1,0 +1,234 @@
+"""The warm operator pool: solver instances leased per job.
+
+A cold shot pays model construction, symbolic lowering and operator
+compilation before a single timestep runs.  The pool amortizes all of
+it twice over:
+
+* **Instance reuse** — a finished job's solver (grid, compiled kernel,
+  its private :class:`~repro.mpi.sim.SimWorld`) is reset to its initial
+  state (bitwise, via snapshot/restore of every field) and leased to
+  the next job with the same :meth:`~repro.service.spec.ShotSpec.
+  structure_key`.  The warm path skips setup, lowering, fingerprinting
+  and rehydration entirely.
+* **Build-cache warm starts** — when no idle instance fits (first shot
+  of a structure, or all instances busy), the new build goes through
+  the shared :class:`~repro.buildcache.BuildCache`, so structurally
+  identical shots never re-lower even when they can't share an
+  instance.
+
+Isolation contract: every instance owns a private single-rank
+``SimWorld`` and is leased to **at most one job at a time**, so
+concurrent jobs never share mutable state.  Per-job fault plans are
+armed on the instance's world at checkout and disarmed at checkin.  An
+instance whose job crashed (injected kill, numerical blowup, any
+exception) is *discarded*, never returned to the pool — crash
+containment is structural, not best-effort cleanup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+
+import numpy as np
+
+from .spec import kernel_setup
+
+__all__ = ['OperatorPool', 'PooledSolver']
+
+
+class PooledSolver:
+    """One leased solver: spec structure + solver + private world.
+
+    ``snapshot()`` is taken once, right after the build and before any
+    timestep runs: it captures the bit-exact initial contents of every
+    dense and sparse field (zero wavefields, the source wavelet, the
+    physical model).  ``reset()`` restores that snapshot, so a reused
+    instance starts from the same bits as a freshly built one — reused
+    results are bit-identical to solo runs by construction.
+    """
+
+    def __init__(self, key, solver, time_range, comm, build_status,
+                 build_seconds):
+        self.key = key
+        self.solver = solver
+        self.time_range = time_range
+        self.comm = comm
+        self.world = comm.world
+        #: build-cache outcome of the construction ('hit'/'miss'/...)
+        self.build_status = build_status
+        self.build_seconds = build_seconds
+        self.jobs_served = 0
+        self._snapshots = []
+        self.snapshot()
+
+    @property
+    def op(self):
+        return self.solver.op
+
+    def snapshot(self):
+        """Capture the initial bytes of every field of the operator."""
+        self._snapshots = []
+        for f in self.op.functions:
+            self._snapshots.append((f.data.with_halo,
+                                    f.data.with_halo.copy()))
+        for s in self.op.sparse_functions:
+            self._snapshots.append((s.data, np.array(s.data, copy=True)))
+
+    def reset(self):
+        """Restore the snapshot and scrub transport state for reuse."""
+        for live, saved in self._snapshots:
+            live[...] = saved
+        self.world.reset()
+        self.disarm()
+
+    def arm(self, faults=None, disarmed=()):
+        """Install a per-job fault plan on this instance's world."""
+        self.world.faults = faults or None
+        self.world.disarmed_kills = set(disarmed)
+        self.world.pending_kills = set()
+
+    def disarm(self):
+        self.world.faults = None
+        self.world.disarmed_kills = set()
+        self.world.pending_kills = set()
+
+    def __repr__(self):
+        return ('PooledSolver(%s, build=%s, served=%d)'
+                % ('/'.join(map(str, self.key[:2])), self.build_status,
+                   self.jobs_served))
+
+
+class OperatorPool:
+    """Warm solver instances keyed by shot structure.
+
+    Parameters
+    ----------
+    cache : None, BuildCache, bool or str
+        The build cache shared by all pool builds; resolved exactly
+        like the ``Operator(cache=...)`` kwarg (``None`` follows
+        ``configuration['build_cache']``).
+    max_idle_per_key : int, optional
+        Retention bound on idle instances per structure key (surplus
+        checkins are discarded).  ``None``: unbounded.
+    """
+
+    def __init__(self, cache=None, max_idle_per_key=None):
+        from ..buildcache import get_cache
+        self.cache = get_cache(cache)
+        self.max_idle_per_key = max_idle_per_key
+        self._idle = {}
+        self._lock = threading.Lock()
+        self._build_locks = {}
+        self.stats = {'checkouts': 0, 'reuses': 0, 'warm_builds': 0,
+                      'cold_builds': 0, 'discards': 0,
+                      'build_seconds': 0.0}
+
+    # -- lease lifecycle -----------------------------------------------------------
+
+    def checkout(self, spec, faults=None, disarmed=()):
+        """Lease an instance able to run ``spec`` (reuse or build).
+
+        The instance is exclusively owned by the caller until
+        :meth:`checkin`.  ``faults``/``disarmed`` arm the job's fault
+        plan on the instance's private world.
+        """
+        key = spec.structure_key()
+        with self._lock:
+            self.stats['checkouts'] += 1
+            idle = self._idle.get(key)
+            inst = idle.pop() if idle else None
+            if inst is not None:
+                self.stats['reuses'] += 1
+        if inst is None:
+            inst = self._build(key, spec)
+        inst.arm(faults=faults, disarmed=disarmed)
+        inst.jobs_served += 1
+        return inst
+
+    def checkin(self, inst, healthy=True):
+        """Return a leased instance.
+
+        ``healthy=False`` (the job raised) discards it: a world that
+        carried a crash is never reused.  Healthy instances are reset
+        to their initial snapshot and parked for the next job.
+        """
+        if not healthy:
+            with self._lock:
+                self.stats['discards'] += 1
+            return
+        inst.reset()
+        with self._lock:
+            idle = self._idle.setdefault(inst.key, [])
+            cap = self.max_idle_per_key
+            if cap is not None and len(idle) >= cap:
+                self.stats['discards'] += 1
+            else:
+                idle.append(inst)
+
+    # -- construction -------------------------------------------------------------
+
+    def _build(self, key, spec):
+        """Build a fresh instance (serialized per structure key so the
+        first build of a structure is the only cold one — concurrent
+        same-key builds would all miss the not-yet-populated cache)."""
+        with self._lock:
+            block = self._build_locks.setdefault(key, threading.Lock())
+        with block:
+            from ..mpi.sim import SimComm, SimWorld
+            comm = SimComm(SimWorld(1, faults=False), 0)
+            tic = _time.perf_counter()
+            solver, time_range = kernel_setup(spec.kernel)(
+                shape=spec.shape, spacing=spec.spacing, tn=spec.tn,
+                space_order=spec.space_order, nbl=spec.nbl, comm=comm,
+                nrec=spec.nrec, cache=self.cache
+                if self.cache is not None else False)
+            op = solver.op  # trigger the (possibly warm) build
+            elapsed = _time.perf_counter() - tic
+        status = op.cache_info()['status']
+        with self._lock:
+            if status == 'hit':
+                self.stats['warm_builds'] += 1
+            else:
+                self.stats['cold_builds'] += 1
+            self.stats['build_seconds'] += elapsed
+        return PooledSolver(key, solver, time_range, comm, status,
+                            elapsed)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def warm_hit_rate(self):
+        """Fraction of checkouts served warm (reuse or cache hit)."""
+        total = self.stats['checkouts']
+        if not total:
+            return 0.0
+        return (self.stats['reuses'] + self.stats['warm_builds']) / total
+
+    def idle_count(self, key=None):
+        with self._lock:
+            if key is not None:
+                return len(self._idle.get(key, ()))
+            return sum(len(v) for v in self._idle.values())
+
+    def snapshot_stats(self):
+        """A copy of the counters plus the derived hit rate."""
+        with self._lock:
+            out = dict(self.stats)
+        out['warm_hit_rate'] = self.warm_hit_rate
+        out['idle'] = self.idle_count()
+        return out
+
+    def clear(self):
+        """Drop every idle instance (leased ones are unaffected)."""
+        with self._lock:
+            n = sum(len(v) for v in self._idle.values())
+            self._idle.clear()
+        return n
+
+    def __repr__(self):
+        s = self.snapshot_stats()
+        return ('OperatorPool(checkouts=%d, reuses=%d, warm=%d, cold=%d, '
+                'idle=%d)' % (s['checkouts'], s['reuses'],
+                              s['warm_builds'], s['cold_builds'],
+                              s['idle']))

@@ -1,0 +1,167 @@
+"""The aggregate batch report: per-job summaries rolled into one view.
+
+Every job's :class:`~repro.profiling.PerformanceSummary` is distilled
+into a small per-job record at completion; :class:`BatchReport` folds
+those into batch-level metrics — shots/hour, p50/p99 job latency, the
+warm-pool hit rate, per-kernel breakdowns and section-kind time totals
+— and renders/persists them (the JSON twin is what ``repro status``
+and the ``BENCH_serve`` artifact read).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..ioutil import atomic_write_json
+
+__all__ = ['BatchReport', 'percentile']
+
+
+def percentile(values, q):
+    """Linear-interpolation percentile of ``values`` (q in [0, 100])."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * (float(q) / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class BatchReport:
+    """Immutable summary of one scheduler drain.
+
+    Parameters
+    ----------
+    records : list of JobRecord
+        Every job the batch touched, in submission order.
+    wall_seconds : float
+        End-to-end wall time of the drain.
+    pool_stats : dict
+        :meth:`OperatorPool.snapshot_stats` at drain end.
+    """
+
+    def __init__(self, records, wall_seconds, pool_stats):
+        self.records = list(records)
+        self.wall_seconds = float(wall_seconds)
+        self.pool_stats = dict(pool_stats)
+
+    # -- derived metrics -----------------------------------------------------------
+
+    @property
+    def njobs(self):
+        return len(self.records)
+
+    @property
+    def completed(self):
+        return [r for r in self.records if r.state == 'done']
+
+    @property
+    def failed(self):
+        return [r for r in self.records if r.state == 'failed']
+
+    @property
+    def retries(self):
+        return sum(max(r.attempts - 1, 0) for r in self.records)
+
+    @property
+    def shots_per_hour(self):
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.completed) * 3600.0 / self.wall_seconds
+
+    @property
+    def warm_hit_rate(self):
+        return float(self.pool_stats.get('warm_hit_rate', 0.0))
+
+    def latency_percentile(self, q):
+        """Percentile of completed-job latency (seconds, submit-agnostic:
+        measured from job start to job finish, across all attempts)."""
+        return percentile([r.latency_seconds for r in self.completed
+                           if r.latency_seconds is not None], q)
+
+    def aggregate(self):
+        """Batch-level rollup of the per-job profiling summaries."""
+        out = {'points_updated': 0, 'timesteps': 0,
+               'kernel_seconds': 0.0, 'kernels': {}, 'sections': {}}
+        for r in self.completed:
+            perf = r.perf or {}
+            out['points_updated'] += int(perf.get('points', 0)) * \
+                int(perf.get('timesteps', 0))
+            out['timesteps'] += int(perf.get('timesteps', 0))
+            out['kernel_seconds'] += float(perf.get('elapsed', 0.0))
+            bucket = out['kernels'].setdefault(
+                r.spec.kernel, {'jobs': 0, 'elapsed': 0.0,
+                                'gpointss_sum': 0.0})
+            bucket['jobs'] += 1
+            bucket['elapsed'] += float(perf.get('elapsed', 0.0))
+            bucket['gpointss_sum'] += float(perf.get('gpointss', 0.0))
+            for kind, seconds in (perf.get('section_kinds') or {}).items():
+                out['sections'][kind] = out['sections'].get(kind, 0.0) \
+                    + float(seconds)
+        for bucket in out['kernels'].values():
+            bucket['gpointss_avg'] = bucket.pop('gpointss_sum') \
+                / max(bucket['jobs'], 1)
+        return out
+
+    # -- output --------------------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            'njobs': self.njobs,
+            'completed': len(self.completed),
+            'failed': len(self.failed),
+            'retries': self.retries,
+            'wall_seconds': self.wall_seconds,
+            'shots_per_hour': self.shots_per_hour,
+            'p50_latency_seconds': self.latency_percentile(50),
+            'p99_latency_seconds': self.latency_percentile(99),
+            'warm_hit_rate': self.warm_hit_rate,
+            'pool': self.pool_stats,
+            'aggregate': self.aggregate(),
+            'jobs': [r.to_dict() for r in self.records],
+        }
+
+    def save(self, path):
+        """Atomically persist the JSON twin; returns the path."""
+        return atomic_write_json(os.fspath(path), self.to_dict())
+
+    def render(self):
+        """Human-readable multi-line summary (the ``repro serve`` tail)."""
+        lines = []
+        lines.append('batch: %d job(s), %d done, %d failed, %d retr%s'
+                     % (self.njobs, len(self.completed), len(self.failed),
+                        self.retries, 'y' if self.retries == 1
+                        else 'ies'))
+        lines.append('wall time        : %.3f s' % self.wall_seconds)
+        lines.append('throughput       : %.1f shots/hour'
+                     % self.shots_per_hour)
+        lines.append('job latency      : p50 %.1f ms, p99 %.1f ms'
+                     % (self.latency_percentile(50) * 1e3,
+                        self.latency_percentile(99) * 1e3))
+        lines.append('warm pool        : %.1f%% warm (%d reused, %d '
+                     'cache-warm, %d cold, %d discarded)'
+                     % (self.warm_hit_rate * 100,
+                        self.pool_stats.get('reuses', 0),
+                        self.pool_stats.get('warm_builds', 0),
+                        self.pool_stats.get('cold_builds', 0),
+                        self.pool_stats.get('discards', 0)))
+        agg = self.aggregate()
+        for kernel in sorted(agg['kernels']):
+            b = agg['kernels'][kernel]
+            lines.append('  %-12s : %d job(s), %.3f s kernel time, '
+                         '%.4f GPts/s avg'
+                         % (kernel, b['jobs'], b['elapsed'],
+                            b['gpointss_avg']))
+        for r in self.failed:
+            lines.append('  FAILED %s after %d attempt(s): %s'
+                         % (r.job_id, r.attempts, r.error))
+        return '\n'.join(lines)
+
+    def __repr__(self):
+        return ('BatchReport(%d jobs, %d done, %d failed, %.1f shots/h)'
+                % (self.njobs, len(self.completed), len(self.failed),
+                   self.shots_per_hour))

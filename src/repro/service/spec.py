@@ -1,0 +1,181 @@
+"""Shot specifications: the unit of work of the survey service.
+
+A seismic survey is thousands of *shots* — independent forward models
+that differ only in source position, medium or discretization — run
+through a handful of operator structures.  :class:`ShotSpec` captures
+one shot as plain data (kernel + grid + geometry + priority), is JSON
+round-trippable (the CLI queue is a directory of spec files), and knows
+its :meth:`structure_key`: two specs with equal structure keys compile
+to the same operator fingerprint, so the warm pool can serve one from
+an instance built for the other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+
+from ..ioutil import atomic_write_json
+
+__all__ = ['KERNELS', 'ShotSpec', 'new_job_id']
+
+#: kernel name -> models setup factory (resolved lazily: importing the
+#: service must not pull the whole models package)
+KERNELS = ('acoustic', 'elastic', 'tti', 'viscoelastic')
+
+
+def kernel_setup(kernel):
+    """The ``models`` setup factory for ``kernel``."""
+    from ..models import (acoustic_setup, elastic_setup, tti_setup,
+                          viscoelastic_setup)
+    return {'acoustic': acoustic_setup, 'elastic': elastic_setup,
+            'tti': tti_setup, 'viscoelastic': viscoelastic_setup}[kernel]
+
+
+def new_job_id():
+    """A fresh collision-resistant job identifier."""
+    return 'job-%s' % uuid.uuid4().hex[:12]
+
+
+class ShotSpec:
+    """One independent simulation job.
+
+    Parameters
+    ----------
+    kernel : str
+        One of ``'acoustic'``, ``'elastic'``, ``'tti'``,
+        ``'viscoelastic'``.
+    shape : tuple of int
+        Grid points per dimension (2 or 3 values).
+    tn : float
+        Simulation end time in ms.
+    space_order : int
+        Spatial discretization order.
+    nbl : int
+        Absorbing boundary layer width in points.
+    spacing : tuple of float, optional
+        Grid spacing in m per dimension (default 10 m everywhere).
+    nrec : int
+        Number of surface receivers (0: no receivers).
+    dt : float, optional
+        Timestep override in ms (default: the model's CFL-stable dt).
+    priority : int
+        Scheduling priority; higher runs earlier.  Ties are FIFO.
+    faults : str, optional
+        Per-job fault-injection spec (``repro.mpi.faults.FaultPlan``
+        grammar, e.g. ``"seed=1,kill=0@5"``).  Applied to this job's
+        private :class:`~repro.mpi.sim.SimWorld` only — the batch and
+        the global ``configuration['faults']`` are unaffected.
+    max_retries : int, optional
+        Per-job retry budget override (default: the scheduler's).
+    job_id : str, optional
+        Assigned by :meth:`SurveyScheduler.submit` when omitted.
+    """
+
+    _FIELDS = ('kernel', 'shape', 'tn', 'space_order', 'nbl', 'spacing',
+               'nrec', 'dt', 'priority', 'faults', 'max_retries',
+               'job_id')
+
+    def __init__(self, kernel, shape, tn=100.0, space_order=4, nbl=10,
+                 spacing=None, nrec=8, dt=None, priority=0, faults=None,
+                 max_retries=None, job_id=None):
+        if kernel not in KERNELS:
+            raise ValueError("unknown kernel %r; accepted: %s"
+                             % (kernel, ', '.join(KERNELS)))
+        self.kernel = kernel
+        self.shape = tuple(int(s) for s in shape)
+        if len(self.shape) not in (2, 3) or min(self.shape) < 4:
+            raise ValueError("shape must have 2 or 3 dimensions of >= 4 "
+                             "points, got %r" % (shape,))
+        self.tn = float(tn)
+        if self.tn <= 0:
+            raise ValueError("tn must be positive")
+        self.space_order = int(space_order)
+        if self.space_order < 2 or self.space_order % 2:
+            raise ValueError("space_order must be an even integer >= 2")
+        self.nbl = int(nbl)
+        if self.nbl < 0:
+            raise ValueError("nbl must be >= 0")
+        if spacing is None:
+            spacing = (10.0,) * len(self.shape)
+        self.spacing = tuple(float(s) for s in spacing)
+        if len(self.spacing) != len(self.shape):
+            raise ValueError("spacing must match the grid dimensionality")
+        self.nrec = int(nrec)
+        if self.nrec < 0:
+            raise ValueError("nrec must be >= 0")
+        self.dt = None if dt is None else float(dt)
+        self.priority = int(priority)
+        self.faults = faults if faults else None
+        if self.faults is not None:
+            # fail at submission, not mid-batch: parse eagerly
+            from ..mpi.faults import FaultPlan
+            FaultPlan.parse(self.faults)
+        self.max_retries = None if max_retries is None \
+            else max(int(max_retries), 0)
+        self.job_id = job_id
+
+    # -- identity ----------------------------------------------------------------
+
+    def structure_key(self):
+        """Everything that determines the compiled operator + geometry.
+
+        Two specs with equal keys produce structurally identical solvers
+        (same equations, grid, source/receiver layout), so a warm pooled
+        instance built for one can serve the other after a data reset.
+        ``dt``, ``priority``, ``faults`` and the retry budget are
+        runtime-only and deliberately excluded.
+        """
+        return (self.kernel, self.shape, self.spacing, self.tn,
+                self.space_order, self.nbl, self.nrec)
+
+    # -- (de)serialization --------------------------------------------------------
+
+    def to_dict(self):
+        out = {}
+        for name in self._FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload):
+        if not isinstance(payload, dict):
+            raise ValueError("shot spec payload must be a JSON object")
+        unknown = sorted(set(payload) - set(cls._FIELDS))
+        if unknown:
+            raise ValueError("unknown shot spec field(s): %s"
+                             % ', '.join(unknown))
+        if 'kernel' not in payload or 'shape' not in payload:
+            raise ValueError("shot spec needs at least 'kernel' and "
+                             "'shape'")
+        return cls(**payload)
+
+    def save(self, path):
+        """Atomically persist this spec as JSON (the CLI queue format)."""
+        return atomic_write_json(os.fspath(path), self.to_dict())
+
+    @classmethod
+    def load(cls, path):
+        with open(os.fspath(path), encoding='utf-8') as f:
+            return cls.from_dict(json.load(f))
+
+    def __eq__(self, other):
+        return isinstance(other, ShotSpec) and \
+            self.to_dict() == other.to_dict()
+
+    def __hash__(self):
+        return hash(self.structure_key())
+
+    def __repr__(self):
+        extras = []
+        if self.priority:
+            extras.append('priority=%d' % self.priority)
+        if self.faults:
+            extras.append('faults=%r' % self.faults)
+        return 'ShotSpec(%s, %s, tn=%g, so=%d%s)' % (
+            self.kernel, 'x'.join(map(str, self.shape)), self.tn,
+            self.space_order, (', ' + ', '.join(extras)) if extras else '')

@@ -157,6 +157,29 @@ class TestExecution:
         op = Operator([Eq(u.forward, u + 1)])
         op.apply(time_M=0)  # must not raise
 
+    def test_unknown_kwarg_message_lists_options_alphabetically(self,
+                                                                grid):
+        from repro.dsl.operator import RESILIENCE_KWARGS, SERVICE_KWARGS
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        op = Operator([Eq(u.forward, u + 1)])
+        with pytest.raises(ValueError) as err:
+            op.apply(time_M=0, chekpoint_every=5)
+        message = str(err.value)
+        assert "'chekpoint_every'" in message
+        # every resilience/service key is listed, alphabetically, so
+        # the near-miss above is findable right next to its fix
+        listed = message.split('resilience/service options: ')[1]
+        expected = ', '.join(sorted(RESILIENCE_KWARGS + SERVICE_KWARGS))
+        assert listed == expected
+        assert 'job_id' in listed
+
+    def test_job_id_kwarg_accepted_and_on_summary(self, grid):
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        op = Operator([Eq(u.forward, u + 1)])
+        summary = op.apply(time_M=0, job_id='job-k')
+        assert summary.job_id == 'job-k'
+        assert op.apply(time_M=0).job_id is None
+
     def test_time_m_offset(self, grid):
         u = TimeFunction(name='u', grid=grid, space_order=2)
         op = Operator([Eq(u.forward, u + 1)])
