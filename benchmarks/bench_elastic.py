@@ -1,0 +1,207 @@
+"""Elastic repartitioning cost: seconds and bytes moved, gated.
+
+Three live transitions of the same diffusion run, each asserted
+bit-identical to the fault-free serial reference before anything is
+measured — a repartition that loses a bit is not a data point:
+
+* **grow-back** — kill one of 4 ranks mid-run under ``recovery='grow'``:
+  shrink onto the survivors, then repartition back onto the healed rank
+  (4 -> 3 -> 4, original process grid restored);
+* **reserve grow** — start on 2 ranks with 2 announced reserves under
+  ``repartition='grow'`` and grow onto them at the first legal step;
+* **weighted rebalance** — skewed per-rank weights move the block
+  boundaries of a healthy 4-rank world mid-run.
+
+The gated ``metrics`` are deterministic: repartition/grow counters and
+the exact bytes each transition ships through the block-intersection
+alltoall (fixed grid, fixed dtype — identical on every machine).  Wall
+times carry the ``_ms`` trend-only suffix.  Run as a module to
+(re)generate the ``BENCH_elastic.json`` trajectory artifact consumed by
+the CI ``elastic`` job::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py [-o BENCH_elastic.json]
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro import Eq, Grid, Operator, TimeFunction, configuration, solve
+from repro.mpi import run_parallel
+from repro.mpi.sim import SimComm, SimWorld
+from repro.resilience import run_elastic
+
+STEPS = 12
+DT = 0.02
+SHAPE = (24, 20)
+WEIGHTS = (3.0, 1.0, 1.0, 2.0)
+
+
+def _initial():
+    return (np.add.outer(np.arange(SHAPE[0]) * 0.01,
+                         np.arange(SHAPE[1]) * 0.001).astype(np.float32))
+
+
+def _build(comm, topology=None):
+    grid = Grid(shape=SHAPE, extent=tuple(float(s - 1) for s in SHAPE),
+                comm=comm, topology=topology)
+    u = TimeFunction(name='u', grid=grid, space_order=2)
+    u.data[0] = _initial()
+    eq = Eq(u.dt, u.laplace)
+    op = Operator([Eq(u.forward, solve(eq, u.forward))],
+                  mpi='diagonal' if comm is not None else None)
+    return op, u
+
+
+def _oracle():
+    op, u = _build(None)
+    op.apply(time_M=STEPS, dt=DT)
+    return u.data.gather()
+
+
+def _finish(op, u, oracle, tic):
+    world = op.grid.distributor.comm.world
+    assert np.array_equal(u.data.gather(), oracle), \
+        'repartitioned run diverged from the serial reference'
+    return dict(world.recovery_stats), (time.perf_counter() - tic) * 1e3
+
+
+def run_growback(oracle):
+    """kill one of 4 -> shrink -> grow back (``--recover grow``)."""
+    with tempfile.TemporaryDirectory() as ckdir:
+        configuration['faults'] = 'seed=5,kill=2@4'
+
+        def job(comm):
+            tic = time.perf_counter()
+            op, u = _build(comm, topology=(2, 2))
+            op.apply(time_M=STEPS, dt=DT, recovery='grow',
+                     checkpoint_every=2, checkpoint_dir=ckdir)
+            assert op.grid.distributor.comm.world.size == 4
+            return _finish(op, u, oracle, tic)
+
+        try:
+            results = run_parallel(job, 4)
+        finally:
+            configuration['faults'] = False
+    return results[0]
+
+
+def run_reserve_grow(oracle):
+    """2 actives + 2 announced reserves -> grow to 4 mid-run."""
+    def active(comm):
+        tic = time.perf_counter()
+        op, u = _build(comm)
+        op.apply(time_M=STEPS, dt=DT, repartition='grow',
+                 min_steps_between_repartitions=3)
+        assert op.grid.distributor.comm.world.size == 4
+        return _finish(op, u, oracle, tic)
+
+    def reserve(lineage, orig):
+        op, u = _build(SimComm(SimWorld(4, faults=False), 0))
+        op.apply(time_M=STEPS, dt=DT,
+                 _elastic_join={'lineage': lineage, 'orig': orig})
+        assert np.array_equal(u.data.gather(), oracle)
+        return None
+
+    act, _ = run_elastic(active, 2, reserve_fn=reserve, nreserve=2)
+    return act[0]
+
+
+def run_rebalance(oracle):
+    """Skewed weighted rebalance of a healthy 4-rank world."""
+    def job(comm):
+        tic = time.perf_counter()
+        op, u = _build(comm, topology=(2, 2))
+        op.apply(time_M=STEPS, dt=DT, repartition='balance',
+                 repartition_every=3, max_repartitions=1,
+                 repartition_weights=WEIGHTS)
+        return _finish(op, u, oracle, tic)
+
+    return run_parallel(job, 4)[0]
+
+
+def _measure():
+    oracle = _oracle()
+    growback, growback_ms = run_growback(oracle)
+    grow, grow_ms = run_reserve_grow(oracle)
+    rebalance, rebalance_ms = run_rebalance(oracle)
+    return {
+        'growback': growback, 'growback_ms': growback_ms,
+        'grow': grow, 'grow_ms': grow_ms,
+        'rebalance': rebalance, 'rebalance_ms': rebalance_ms,
+    }
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_growback_bytes_and_counters():
+    stats, _ = run_growback(_oracle())
+    assert stats['recoveries'] == 1
+    assert stats['repartitions'] == 1
+    assert stats['grown_ranks'] == 1
+    assert stats['repartition_bytes'] > 0
+
+
+def test_reserve_grow_bytes_and_counters():
+    stats, _ = run_reserve_grow(_oracle())
+    assert stats['repartitions'] == 1
+    assert stats['grown_ranks'] == 2
+    assert stats['repartition_bytes'] > 0
+
+
+def test_rebalance_bytes_and_counters():
+    stats, _ = run_rebalance(_oracle())
+    assert stats['repartitions'] == 1
+    assert stats['repartition_bytes'] > 0
+
+
+def collect():
+    """The measurement -> the BENCH_elastic.json payload.
+
+    The gated ``metrics`` are deterministic counters and exact alltoall
+    byte counts; wall times are ``_ms`` trend-only.
+    """
+    r = _measure()
+    return {
+        'benchmark': 'bench_elastic',
+        'shape': list(SHAPE),
+        'steps': STEPS,
+        'weights': list(WEIGHTS),
+        'metrics': {
+            'growback_repartitions': r['growback']['repartitions'],
+            'growback_grown_ranks': r['growback']['grown_ranks'],
+            'growback_bytes_moved': r['growback']['repartition_bytes'],
+            'grow_repartitions': r['grow']['repartitions'],
+            'grow_grown_ranks': r['grow']['grown_ranks'],
+            'grow_bytes_moved': r['grow']['repartition_bytes'],
+            'rebalance_repartitions': r['rebalance']['repartitions'],
+            'rebalance_bytes_moved': r['rebalance']['repartition_bytes'],
+            'growback_wall_ms': round(r['growback_ms'], 3),
+            'grow_wall_ms': round(r['grow_ms'], 3),
+            'rebalance_wall_ms': round(r['rebalance_ms'], 3),
+        },
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description='Measure the cost (seconds, exact bytes moved) of '
+                    'live grow / grow-back / weighted-rebalance '
+                    'repartitions and write the BENCH_elastic.json '
+                    'trajectory artifact.')
+    parser.add_argument('-o', '--output', default='BENCH_elastic.json')
+    args = parser.parse_args(argv)
+    payload = collect()
+    from repro.ioutil import atomic_write_json
+    atomic_write_json(args.output, payload)
+    print(json.dumps(payload, indent=2))
+    print('wrote %s' % args.output)
+    return payload
+
+
+if __name__ == '__main__':
+    main()

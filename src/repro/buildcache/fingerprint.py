@@ -103,4 +103,9 @@ def fingerprint_build(expressions, *, mpi_mode, opt, verify, sanitizer,
         emitter.emit(int(dist.myrank))
         emitter.emit(tuple(dist.mycoords))
         emitter.emit(tuple(dist.shape_local))
+        # weighted (elastic) splits: the full per-dimension size vectors
+        # distinguish decompositions that happen to give *this* rank the
+        # same local shape but shift the global offsets
+        for dec in dist.decompositions:
+            emitter.emit(tuple(dec.sizes))
     return emitter.hexdigest(), emitter

@@ -100,13 +100,29 @@ def _parser():
                    help='JSON artifact path for --profile advanced '
                         '(loadable by repro.perfmodel.report.'
                         'load_profile_json)')
-    p.add_argument('--recover', choices=['abort', 'restart', 'shrink'],
+    p.add_argument('--recover',
+                   choices=['abort', 'restart', 'shrink', 'grow'],
                    default=None,
                    help='survive lethal injected faults: restart '
                         '(same-world restore from the newest valid '
-                        'checkpoint) or shrink (drop the dead rank and '
-                        'redistribute onto the survivors); default '
-                        'abort')
+                        'checkpoint), shrink (drop the dead rank and '
+                        'redistribute onto the survivors) or grow '
+                        '(shrink, then repartition back onto the healed '
+                        'rank once it rejoins); default abort')
+    p.add_argument('--repartition-policy',
+                   choices=['off', 'grow', 'balance'], default=None,
+                   help='mid-run elastic repartitioning: grow onto '
+                        'announced reserve ranks, or balance the current '
+                        'world with weighted splits (default off)')
+    p.add_argument('--repartition-every', type=int, default=None,
+                   metavar='N',
+                   help='repartition cadence in timesteps (0: once, at '
+                        'the earliest legal step)')
+    p.add_argument('--repartition-weights', default=None, metavar='W,...',
+                   help='comma-separated per-rank split weights for '
+                        '--repartition-policy balance (default: measured '
+                        'per-rank compute time when profiling is on, '
+                        'else equal)')
     p.add_argument('--checkpoint-every', type=int, default=None,
                    metavar='N',
                    help='checkpoint cadence in timesteps (0: only the '
@@ -190,6 +206,10 @@ def _analyze_parser():
                         'races/bounds/dead-code still run)')
     p.add_argument('--topology', nargs='+', type=int, default=None,
                    help='process grid (0 entries auto-derived)')
+    p.add_argument('--weights', default=None, metavar='W,...',
+                   help='comma-separated per-rank split weights (one per '
+                        'rank): verify the schedule a weighted elastic '
+                        'repartition would run, before running it')
     p.add_argument('--no-opt', action='store_true',
                    help='disable CSE/factorization/hoisting')
     p.add_argument('--dump-schedule', action='store_true',
@@ -308,7 +328,9 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                   recover=None, checkpoint_every=None, checkpoint_dir=None,
                   checkpoint_keep=None, resume=False,
                   health_check_every=None, sanitize=False,
-                  dump_schedule=False, cache=None, cache_dir=None):
+                  dump_schedule=False, cache=None, cache_dir=None,
+                  repartition=None, repartition_every=None,
+                  repartition_weights=None):
     """Run one benchmark; returns (summary, gathered primary field)."""
     # resolve stdout at call time (pytest capture swaps sys.stdout)
     out = out if out is not None else sys.stdout
@@ -335,16 +357,24 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
     overrides = {'recovery': recover, 'checkpoint_every': checkpoint_every,
                  'checkpoint_dir': checkpoint_dir,
                  'checkpoint_keep': checkpoint_keep,
-                 'health_check_every': health_check_every}
+                 'health_check_every': health_check_every,
+                 'repartition': repartition,
+                 'repartition_every': repartition_every,
+                 'repartition_weights': repartition_weights}
     overrides = {k: v for k, v in overrides.items() if v is not None}
     # also snapshot the keys --verify resets for its serial reference
     saved_cfg = {k: configuration[k]
                  for k in set(overrides) | {'recovery', 'checkpoint_every',
-                                            'health_check_every'}}
+                                            'health_check_every',
+                                            'repartition',
+                                            'repartition_every',
+                                            'repartition_weights'}}
     for k, v in overrides.items():
         configuration[k] = v
     if recover is not None and recover != 'abort':
         print('recovery policy : %s' % recover, file=out)
+    if repartition is not None and repartition != 'off':
+        print('repartitioning  : %s' % repartition, file=out)
     setup = _setups()[kernel]
     spacing = (10.0,) * len(shape)
 
@@ -394,7 +424,8 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
             # lethal plans) or fully recovered (kills + --recover)
             configuration['faults'] = False
             for key in ('recovery', 'checkpoint_every',
-                        'health_check_every'):
+                        'health_check_every', 'repartition',
+                        'repartition_every', 'repartition_weights'):
                 del configuration[key]  # reset to defaults
             serial_summary, serial_field, _ = single()
             ok = np.array_equal(field, serial_field)
@@ -415,10 +446,14 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
 
 
 def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
-                topology=None, opt=True, dump_schedule=False,
+                topology=None, weights=None, opt=True, dump_schedule=False,
                 count_nodes=False, out=None):
     """Build the operator (on every simulated rank when ``ranks > 1``)
     and run the static verifier over its schedule — no execution.
+
+    ``weights`` (one non-negative float per rank) builds the schedule on
+    the weighted decomposition an elastic rebalance would install, so a
+    planned repartition can be statically verified up front.
 
     Returns the rank-0 :class:`~repro.analysis.AnalysisReport`.
     """
@@ -427,10 +462,23 @@ def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
     setup = _setups()[kernel]
     spacing = (10.0,) * len(shape)
 
+    dim_weights = None
+    if weights is not None:
+        weights = tuple(float(w) for w in weights)
+        if len(weights) != ranks:
+            raise SystemExit('--weights expects one value per rank '
+                             '(%d), got %d' % (ranks, len(weights)))
+        from .mpi.cart import compute_dims
+        from .resilience.elastic import rank_weights_to_dim_weights
+        dims = compute_dims(ranks, len(shape),
+                            given=tuple(topology) if topology else None)
+        dim_weights = rank_weights_to_dim_weights(weights, dims)
+
     def build(comm=None):
         solver, _ = setup(shape=tuple(shape), spacing=spacing, tn=100.0,
                           space_order=space_order, nbl=nbl, comm=comm,
                           topology=tuple(topology) if topology else None,
+                          weights=dim_weights if comm is not None else None,
                           mpi=mpi if comm is not None else None,
                           opt=opt, nrec=16)
         op = solver.op
@@ -447,6 +495,10 @@ def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
     print('--- analyze %s | shape %s | SDO %d | mpi=%s | ranks=%d ---'
           % (kernel, 'x'.join(map(str, shape)), space_order,
              mpi if ranks > 1 else 'off', ranks), file=out)
+    if dim_weights is not None:
+        print('weighted split   : %s' % (tuple(
+            w if w is None else tuple(round(x, 4) for x in w)
+            for w in dim_weights),), file=out)
     if dump_schedule:
         print(op.schedule.dump(), file=out)
     if count_nodes:
@@ -756,9 +808,17 @@ def main(argv=None):
         args = _analyze_parser().parse_args(argv[1:])
         if len(args.shape) not in (2, 3):
             raise SystemExit('-d expects 2 or 3 dimensions')
+        weights = None
+        if args.weights is not None:
+            try:
+                weights = [float(w) for w in args.weights.split(',')]
+            except ValueError:
+                raise SystemExit('--weights expects comma-separated '
+                                 'numbers, got %r' % args.weights)
         report = run_analyze(args.kernel, args.shape, args.space_order,
                              nbl=args.nbl, mpi=args.mpi, ranks=args.ranks,
-                             topology=args.topology, opt=not args.no_opt,
+                             topology=args.topology, weights=weights,
+                             opt=not args.no_opt,
                              dump_schedule=args.dump_schedule,
                              count_nodes=args.count_nodes)
         if report.errors:
@@ -780,7 +840,10 @@ def main(argv=None):
                   health_check_every=args.health_check_every,
                   sanitize=args.sanitize,
                   dump_schedule=args.dump_schedule,
-                  cache=args.cache, cache_dir=args.cache_dir)
+                  cache=args.cache, cache_dir=args.cache_dir,
+                  repartition=args.repartition_policy,
+                  repartition_every=args.repartition_every,
+                  repartition_weights=args.repartition_weights)
 
 
 if __name__ == '__main__':

@@ -35,10 +35,14 @@ class Grid:
         Communicator for distributed runs; None means serial.
     topology : tuple of int, optional
         Process grid (zero entries auto-derived, cf. Figure 2).
+    weights : tuple, optional
+        Per-dimension split weights forwarded to the
+        :class:`~repro.mpi.Distributor` (proportional decomposition for
+        heterogeneous rank speeds; see ``repro.resilience.elastic``).
     """
 
     def __init__(self, shape, extent=None, origin=None, dtype=np.float32,
-                 comm=None, topology=None):
+                 comm=None, topology=None, weights=None):
         self.shape = tuple(int(s) for s in shape)
         self.dim = len(self.shape)
         if self.dim < 1 or self.dim > 3:
@@ -57,7 +61,7 @@ class Grid:
         self.stepping_dim = SteppingDimension('t', self.time_dim)
 
         self.distributor = Distributor(self.shape, comm=comm,
-                                       topology=topology)
+                                       topology=topology, weights=weights)
 
     # -- geometry -----------------------------------------------------------------
 

@@ -32,7 +32,10 @@ __all__ = ['Operator', 'PerformanceSummary', 'RESILIENCE_KWARGS',
 #: (everything else must name a grid spacing, a Constant or a time bound)
 RESILIENCE_KWARGS = ('recovery', 'checkpoint_every', 'checkpoint_dir',
                      'checkpoint_keep', 'max_recoveries',
-                     'health_check_every', 'health_max', 'resume')
+                     'health_check_every', 'health_max', 'resume',
+                     'repartition', 'repartition_every',
+                     'min_steps_between_repartitions', 'max_repartitions',
+                     'repartition_weights')
 
 #: keyword arguments of ``apply`` consumed by the survey service
 #: (job attribution on the returned summary; never reach the kernel)
@@ -298,6 +301,24 @@ class Operator:
         return analyze_schedule(self.schedule, kernel=self.kernel,
                                 profiler=self.profiler)
 
+    def repartition(self, new_ranks=None, weights=None, timeout=120.0):
+        """Elastically repartition this live operator (collective).
+
+        Call SPMD-style *between* applies.  ``new_ranks == comm.size``
+        (or ``None``) rebalances the current world with per-rank
+        ``weights`` (``None``: capacities measured from the profiler's
+        per-rank compute time); ``new_ranks > comm.size`` grows onto
+        reserve ranks that announced themselves on the world's lineage
+        (see :mod:`repro.resilience.elastic`).  The grid, distributed
+        data, sparse routing and kernel are rebuilt in place, DOMAIN
+        blocks move rank-to-rank through one alltoall, and the
+        regenerated schedule re-passes the static verifier before the
+        next ``apply``.  Returns the (possibly new) communicator.
+        """
+        from ..resilience.elastic import repartition_operator
+        return repartition_operator(self, new_ranks=new_ranks,
+                                    weights=weights, timeout=timeout)
+
     @property
     def flops_per_point(self):
         return self._flops_per_point
@@ -410,6 +431,14 @@ class Operator:
                     if not prepared:
                         start = controller.prepare()
                         prepared = True
+                        if controller.comm is not comm:
+                            # an elastic joiner entered through a grow
+                            # grant: the substrate was rebuilt against
+                            # the granted world mid-prepare
+                            comm = controller.comm
+                            arrays = {f.name: f.data.with_halo
+                                      for f in self.functions}
+                            controller.bind(comm, start, time_M)
                 self.kernel(start, time_M, arrays, params, comm,
                             prof.timer, resilience=controller)
             except BaseException as exc:
@@ -463,6 +492,7 @@ class Operator:
     def _make_controller(self, kwargs):
         """Pop the resilience kwargs (falling back to ``configuration``)
         and build the per-apply supervisor, or None for plain runs."""
+        join = kwargs.pop('_elastic_join', None)
         opts = {key: kwargs.pop(key) for key in RESILIENCE_KWARGS
                 if key in kwargs}
         policy = opts.get('recovery', configuration['recovery'])
@@ -471,7 +501,9 @@ class Operator:
         hevery = int(opts.get('health_check_every',
                               configuration['health_check_every']))
         resume = bool(opts.get('resume', False))
-        if policy == 'abort' and every == 0 and hevery == 0 and not resume:
+        repartition = opts.get('repartition', configuration['repartition'])
+        if policy == 'abort' and every == 0 and hevery == 0 \
+                and not resume and repartition == 'off' and join is None:
             return None
         from ..resilience import ResilienceController
         return ResilienceController(
@@ -484,7 +516,18 @@ class Operator:
                                     configuration['max_recoveries']),
             health_check_every=hevery,
             health_max=opts.get('health_max', configuration['health_max']),
-            resume=resume)
+            resume=resume, repartition=repartition,
+            repartition_every=opts.get(
+                'repartition_every', configuration['repartition_every']),
+            min_steps_between_repartitions=opts.get(
+                'min_steps_between_repartitions',
+                configuration['min_steps_between_repartitions']),
+            max_repartitions=opts.get(
+                'max_repartitions', configuration['max_repartitions']),
+            repartition_weights=opts.get(
+                'repartition_weights',
+                configuration['repartition_weights']),
+            elastic_join=join)
 
     def _accumulate_deltas(self, stash, before):
         """Fold this attempt's exchanger counter deltas into ``stash``

@@ -71,8 +71,8 @@ class AcousticWaveSolver:
 
 def acoustic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
                    space_order=4, vp=1.5, f0=0.025, comm=None,
-                   topology=None, mpi=None, nrec=None, opt=True,
-                   cache=None):
+                   topology=None, weights=None, mpi=None, nrec=None,
+                   opt=True, cache=None):
     """Build a ready-to-run acoustic solver on a layered model.
 
     Mirrors ``examples/seismic/acoustic/acoustic_example.py`` of the
@@ -92,7 +92,7 @@ def acoustic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
         v = vp
     model = SeismicModel(shape=shape, spacing=spacing, vp=v, nbl=nbl,
                          space_order=space_order, comm=comm,
-                         topology=topology)
+                         topology=topology, weights=weights)
     dt = model.critical_dt
     time_range = TimeAxis(start=0.0, stop=tn, step=dt)
 

@@ -110,15 +110,15 @@ class ElasticWaveSolver:
 
 def elastic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
                   space_order=4, vp=2.0, vs=1.0, rho=1.8, f0=0.015,
-                  comm=None, topology=None, mpi=None, nrec=None, opt=True,
-                  cache=None):
+                  comm=None, topology=None, weights=None, mpi=None,
+                  nrec=None, opt=True, cache=None):
     """Build a ready-to-run elastic solver (layered medium, Ricker src)."""
     from .model import SeismicModel
 
     ndim = len(shape)
     model = SeismicModel(shape=shape, spacing=spacing, vp=vp, vs=vs,
                          rho=rho, nbl=nbl, space_order=space_order,
-                         comm=comm, topology=topology)
+                         comm=comm, topology=topology, weights=weights)
     dt = model.critical_dt
     time_range = TimeAxis(start=0.0, stop=tn, step=dt)
 

@@ -72,7 +72,7 @@ class SeismicModel:
     def __init__(self, shape, spacing, origin=None, vp=1.5, nbl=40,
                  space_order=8, vs=None, rho=None, epsilon=None, delta=None,
                  theta=None, phi=None, qp=None, qs=None, dtype=np.float32,
-                 comm=None, topology=None):
+                 comm=None, topology=None, weights=None):
         self.shape = tuple(int(s) for s in shape)
         self.spacing = tuple(float(h) for h in spacing)
         self.nbl = int(nbl)
@@ -87,7 +87,8 @@ class SeismicModel:
                            zip(self.origin_interior, self.spacing))
         extent = tuple(h * (s - 1) for h, s in zip(self.spacing, shape_pml))
         self.grid = Grid(shape=shape_pml, extent=extent, origin=origin_pml,
-                         dtype=dtype, comm=comm, topology=topology)
+                         dtype=dtype, comm=comm, topology=topology,
+                         weights=weights)
 
         self._vp = self._to_array(vp)
         self._vs = self._to_array(vs) if vs is not None else None

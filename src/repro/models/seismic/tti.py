@@ -133,7 +133,8 @@ class TTIWaveSolver:
 def tti_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
               space_order=4, vp=1.5, epsilon=0.15, delta=0.1,
               theta=np.pi / 12, phi=np.pi / 10, f0=0.02, comm=None,
-              topology=None, mpi=None, nrec=None, opt=True, cache=None):
+              topology=None, weights=None, mpi=None, nrec=None, opt=True,
+              cache=None):
     """Build a ready-to-run TTI solver with constant Thomsen parameters."""
     from .model import SeismicModel
 
@@ -143,7 +144,7 @@ def tti_setup(shape=(50, 50), spacing=(10., 10.), nbl=10, tn=250.0,
         kwargs['phi'] = phi
     model = SeismicModel(shape=shape, spacing=spacing, vp=vp, nbl=nbl,
                          space_order=space_order, comm=comm,
-                         topology=topology, **kwargs)
+                         topology=topology, weights=weights, **kwargs)
     # anisotropy speeds up the fastest phase: shrink dt accordingly
     dt = model.critical_dt / np.sqrt(1.0 + 2.0 * np.max(
         np.atleast_1d(epsilon)))

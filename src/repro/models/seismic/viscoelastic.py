@@ -139,7 +139,8 @@ class ViscoelasticWaveSolver:
 def viscoelastic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10,
                        tn=250.0, space_order=4, vp=2.2, vs=1.2, rho=2.0,
                        qp=100.0, qs=70.0, f0=0.01, comm=None, topology=None,
-                       mpi=None, nrec=None, opt=True, cache=None):
+                       weights=None, mpi=None, nrec=None, opt=True,
+                       cache=None):
     """Build a ready-to-run viscoelastic solver."""
     from .model import SeismicModel
 
@@ -147,7 +148,7 @@ def viscoelastic_setup(shape=(50, 50), spacing=(10., 10.), nbl=10,
     model = SeismicModel(shape=shape, spacing=spacing, vp=vp, vs=vs,
                          rho=rho, qp=qp, qs=qs, nbl=nbl,
                          space_order=space_order, comm=comm,
-                         topology=topology)
+                         topology=topology, weights=weights)
     dt = model.critical_dt
     time_range = TimeAxis(start=0.0, stop=tn, step=dt)
 

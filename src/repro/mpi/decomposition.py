@@ -2,9 +2,12 @@
 
 A :class:`Decomposition` describes how one grid dimension of ``N`` points
 is partitioned over ``P`` process slots (MPI block distribution: the first
-``N % P`` parts get one extra point).  It provides the robust
-global-to-local conversion routines that make distributed arrays look
-logically centralized (paper Section III-b).
+``N % P`` parts get one extra point).  With per-part ``weights`` the
+split is proportional instead (largest-remainder apportionment), which
+is how elastic repartitioning rebalances work across heterogeneous
+ranks.  It provides the robust global-to-local conversion routines that
+make distributed arrays look logically centralized (paper Section
+III-b).
 """
 
 from __future__ import annotations
@@ -14,10 +17,53 @@ import math
 __all__ = ['Decomposition']
 
 
-class Decomposition:
-    """Block decomposition of ``npoints`` over ``nparts`` slots."""
+def _weighted_sizes(npoints, nparts, weights):
+    """Largest-remainder apportionment of ``npoints`` over ``nparts``.
 
-    def __init__(self, npoints, nparts):
+    Invariants (asserted by the constructor): the sizes sum exactly to
+    ``npoints``, and no part is empty when ``npoints >= nparts`` — a
+    zero (or tiny) weight is floored to one point so every rank keeps a
+    valid subdomain.
+    """
+    weights = [float(w) for w in weights]
+    if len(weights) != nparts:
+        raise ValueError("expected %d weights, got %d"
+                         % (nparts, len(weights)))
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    quotas = [npoints * w / total for w in weights]
+    sizes = [int(math.floor(q)) for q in quotas]
+    # distribute the remainder by largest fractional part (ties by
+    # index, so equal weights reproduce the unweighted divmod split)
+    remainder = npoints - sum(sizes)
+    order = sorted(range(nparts), key=lambda i: (sizes[i] - quotas[i], i))
+    for i in order[:remainder]:
+        sizes[i] += 1
+    # exact-coverage floor: steal from the largest parts until no part
+    # is empty (always possible when npoints >= nparts)
+    while 0 in sizes:
+        taker = sizes.index(0)
+        giver = max(range(nparts), key=lambda i: sizes[i])
+        if sizes[giver] <= 1:
+            break
+        sizes[giver] -= 1
+        sizes[taker] += 1
+    return tuple(sizes)
+
+
+class Decomposition:
+    """Block decomposition of ``npoints`` over ``nparts`` slots.
+
+    ``weights`` (optional, one non-negative float per part, not all
+    zero) switches from the balanced MPI block split to a proportional
+    split — part ``i`` gets ``~npoints * weights[i] / sum(weights)``
+    points, never zero while ``npoints >= nparts``.
+    """
+
+    def __init__(self, npoints, nparts, weights=None):
         if npoints < 0:
             raise ValueError("npoints must be >= 0")
         if nparts < 1:
@@ -27,9 +73,17 @@ class Decomposition:
                              % (npoints, nparts))
         self.npoints = int(npoints)
         self.nparts = int(nparts)
-        base, extra = divmod(self.npoints, self.nparts)
-        self._sizes = tuple(base + (1 if i < extra else 0)
-                            for i in range(self.nparts))
+        if weights is None:
+            base, extra = divmod(self.npoints, self.nparts)
+            self._sizes = tuple(base + (1 if i < extra else 0)
+                                for i in range(self.nparts))
+        else:
+            self._sizes = _weighted_sizes(self.npoints, self.nparts,
+                                          weights)
+        assert sum(self._sizes) == self.npoints
+        assert self.npoints < self.nparts or 0 not in self._sizes
+        self.weights = tuple(float(w) for w in weights) \
+            if weights is not None else None
         offsets = [0]
         for s in self._sizes[:-1]:
             offsets.append(offsets[-1] + s)

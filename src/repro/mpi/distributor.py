@@ -30,9 +30,14 @@ class Distributor:
     topology : tuple of int, optional
         User-specified process grid (``Grid(..., topology=...)``); zero
         entries are filled in by ``compute_dims``.
+    weights : tuple, optional
+        Per-dimension split weights: one entry per grid dimension, each
+        either ``None`` (balanced split) or a sequence of
+        ``topology[d]`` non-negative floats steering a proportional
+        split along that dimension (elastic rebalancing).
     """
 
-    def __init__(self, shape, comm=None, topology=None):
+    def __init__(self, shape, comm=None, topology=None, weights=None):
         self.shape = tuple(int(s) for s in shape)
         self.ndim = len(self.shape)
         if comm is None:
@@ -46,8 +51,17 @@ class Distributor:
             dims = compute_dims(comm.size, self.ndim, given=topology)
             self.comm = create_cart(comm, dims)
         self.topology = self.comm.dims
+        if weights is None:
+            weights = (None,) * self.ndim
+        if len(weights) != self.ndim:
+            raise ValueError("weights must have one entry per grid "
+                             "dimension (%d), got %d"
+                             % (self.ndim, len(weights)))
+        self.weights = tuple(tuple(float(x) for x in w)
+                             if w is not None else None for w in weights)
         self.decompositions = tuple(
-            Decomposition(n, p) for n, p in zip(self.shape, self.topology))
+            Decomposition(n, p, weights=w)
+            for n, p, w in zip(self.shape, self.topology, self.weights))
 
     # -- identity ----------------------------------------------------------------
 

@@ -47,8 +47,8 @@ import numpy as np
 
 __all__ = ['ANY_SOURCE', 'ANY_TAG', 'PROC_NULL', 'RESERVED_TAG_SPACES',
            'SimWorld', 'SimComm', 'Request', 'CompletedRequest',
-           'RecvRequest', 'RemoteRankError', 'parallel', 'run_parallel',
-           'serial_comm']
+           'RecvRequest', 'RemoteRankError', 'new_lineage', 'parallel',
+           'run_parallel', 'serial_comm']
 
 ANY_SOURCE = -101
 ANY_TAG = -102
@@ -126,6 +126,30 @@ def _matches(msg, comm_id, source, tag):
     return True
 
 
+def new_lineage():
+    """A fresh elastic-lineage record (see :mod:`repro.resilience.elastic`).
+
+    The lineage is the one object threaded *unchanged* through every
+    world generation of a logical run (original -> shrunk -> grown), so
+    ranks that left a generation — healed kill victims, parked reserve
+    ranks — can rendezvous with whichever generation decides to grow:
+
+    ``awaiting``
+        original-rank ids announced as ready to (re)join;
+    ``grant``
+        the latest grow decision (new world, topology, resume step,
+        joiner set) published by the coordinator, under ``cond``;
+    ``epoch``
+        monotonically increasing grant counter;
+    ``topology0``
+        the pre-shrink Cartesian topology, captured at the first shrink
+        so a later grow back to full size restores the original process
+        grid instead of re-deriving a possibly different one.
+    """
+    return {'cond': threading.Condition(), 'awaiting': {}, 'grant': None,
+            'epoch': 0, 'topology0': None}
+
+
 def _configured(key, fallback):
     """Read a configuration key, tolerating bootstrap/circular imports."""
     try:
@@ -164,10 +188,15 @@ class SimWorld:
         and checkpoint manifests are always expressed in original ranks,
         so :meth:`SimComm.fault_tick` translates through this table.
         Defaults to the identity.
+    lineage : dict, optional
+        The shared elastic-lineage record (:func:`new_lineage`) carried
+        across shrink/grow generations of one logical run; a fresh one
+        is created when omitted.
     """
 
     def __init__(self, size, faults=None, recv_timeout=None,
-                 max_retries=None, check_interval=0.05, orig_of=None):
+                 max_retries=None, check_interval=0.05, orig_of=None,
+                 lineage=None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
@@ -218,7 +247,14 @@ class SimWorld:
                                'checkpoints_written': 0,
                                'checkpoints_restored': 0,
                                'checkpoint_bytes': 0, 'restored_bytes': 0,
-                               'recovery_time': 0.0}
+                               'recovery_time': 0.0,
+                               'repartitions': 0, 'grown_ranks': 0,
+                               'repartition_bytes': 0}
+        #: shared elastic-lineage record (rendezvous point for healed
+        #: victims and reserve joiners); threaded *unchanged* through
+        #: every shrink/grow so all generations of this logical run meet
+        #: on the same condition variable (repro.resilience.elastic)
+        self.lineage = lineage if lineage is not None else new_lineage()
         #: live communicators (for coordinated sequence resets)
         import weakref
         self._comms = weakref.WeakSet()

@@ -127,12 +127,14 @@ class Configuration(MutableMapping):
                         'messages per blocked receive'))
         self.register(Parameter(
             'recovery', default='abort', env='REPRO_RECOVERY',
-            accepted=('abort', 'restart', 'shrink'),
+            accepted=('abort', 'restart', 'shrink', 'grow'),
             description='what Operator.apply does when a rank dies: '
                         'abort (propagate, today\'s behaviour), restart '
                         '(same-world restore from the newest valid '
-                        'checkpoint), or shrink (drop the dead rank, '
-                        'redistribute onto the survivors)'))
+                        'checkpoint), shrink (drop the dead rank, '
+                        'redistribute onto the survivors), or grow '
+                        '(shrink, then repartition back onto the full '
+                        'rank set once the healed rank rejoins)'))
         self.register(Parameter(
             'checkpoint_every', default=0, env='REPRO_CHECKPOINT_EVERY',
             converter=self._convert_nonneg_int,
@@ -160,6 +162,38 @@ class Configuration(MutableMapping):
             'health_max', default=1e12, env='REPRO_HEALTH_MAX',
             converter=self._convert_positive_float,
             description='amplitude bound for the blowup health check'))
+        self.register(Parameter(
+            'repartition', default='off', env='REPRO_REPARTITION',
+            accepted=('off', 'grow', 'balance'),
+            description='elastic adaptation policy of Operator.apply: '
+                        'off, grow (extend onto announced reserve '
+                        'ranks), or balance (weighted re-split of the '
+                        'current world)'))
+        self.register(Parameter(
+            'repartition_every', default=0, env='REPRO_REPARTITION_EVERY',
+            converter=self._convert_nonneg_int,
+            description='cadence of the elastic adaptation check in '
+                        'timesteps (0: repartition once, at the '
+                        'earliest legal step)'))
+        self.register(Parameter(
+            'min_steps_between_repartitions', default=4,
+            env='REPRO_MIN_STEPS_BETWEEN_REPARTITIONS',
+            converter=self._convert_positive_int,
+            description='hysteresis: minimum timesteps between '
+                        'consecutive repartitions (bounds oscillation; '
+                        'also delays the grow-back after a shrink)'))
+        self.register(Parameter(
+            'max_repartitions', default=4, env='REPRO_MAX_REPARTITIONS',
+            converter=self._convert_nonneg_int,
+            description='upper bound on cadence-driven repartitions per '
+                        'apply'))
+        self.register(Parameter(
+            'repartition_weights', default=None,
+            env='REPRO_REPARTITION_WEIGHTS',
+            converter=self._convert_weights,
+            description='per-rank split weights for repartitioning '
+                        '(comma-separated floats, e.g. "2,1,1"; None: '
+                        'measure capacities from the profiler)'))
         self.register(Parameter(
             'build_cache', default='memory', env='REPRO_CACHE',
             accepted=('on', 'memory', 'disk', 'off'),
@@ -249,6 +283,22 @@ class Configuration(MutableMapping):
             return FaultPlan.parse(value)
         raise ValueError("expected a FaultPlan, a spec string or False, "
                          "got %r" % (value,))
+
+    @staticmethod
+    def _convert_weights(value):
+        if value is None or value is False:
+            return None
+        if isinstance(value, str):
+            stripped = value.strip()
+            if not stripped or stripped.lower() in {'none'} | _FALSE:
+                return None
+            value = stripped.split(',')
+        weights = tuple(float(w) for w in value)
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("weights must not all be zero")
+        return weights
 
     @staticmethod
     def _convert_positive_float(value):

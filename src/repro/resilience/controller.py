@@ -13,11 +13,24 @@ recovery policy consulted by the supervised ``Operator.apply`` loop:
     same-world restore from the newest valid checkpoint;
 ``shrink``
     drop the dead rank, rebuild the world on the survivors and
-    repartition the checkpoint onto the new decomposition.
+    repartition the checkpoint onto the new decomposition;
+``grow``
+    shrink first, then — once the healed rank announces itself on the
+    world's lineage — repartition the live run back onto the full rank
+    set (:mod:`repro.resilience.elastic`).  The victim stays inside its
+    ``apply`` and rejoins instead of leaving.
 
-When profiling is on, checkpoint/restore/healthcheck appear as named
-sections of kind ``resilience`` in the :class:`PerformanceSummary`, with
-both time and payload bytes.
+Orthogonally to recovery, the controller drives the *adaptation* policy
+(``repartition='grow'|'balance'``): the per-step tick raises a
+collective :class:`~repro.resilience.elastic.RepartitionRequest` at a
+quiescent top-of-step boundary — to grow onto announced reserve ranks,
+or to rebalance the split with per-rank weights.  Oscillation is
+bounded by ``min_steps_between_repartitions`` (hysteresis) and
+``max_repartitions``.
+
+When profiling is on, checkpoint/restore/healthcheck/repartition appear
+as named sections of kind ``resilience`` in the
+:class:`PerformanceSummary`, with both time and payload bytes.
 """
 
 from __future__ import annotations
@@ -30,9 +43,11 @@ from ..profiling import SectionMeta
 from .checkpoint import Checkpointer
 from .health import HealthGuard
 
-__all__ = ['RECOVERY_POLICIES', 'ResilienceController']
+__all__ = ['RECOVERY_POLICIES', 'REPARTITION_POLICIES',
+           'ResilienceController']
 
-RECOVERY_POLICIES = ('abort', 'restart', 'shrink')
+RECOVERY_POLICIES = ('abort', 'restart', 'shrink', 'grow')
+REPARTITION_POLICIES = ('off', 'grow', 'balance')
 
 
 class ResilienceController:
@@ -66,23 +81,69 @@ class ResilienceController:
     resume : bool
         Start from the newest valid checkpoint in ``checkpoint_dir``
         instead of the caller's ``time_m``.
+    repartition : str
+        Adaptation policy: 'off' (default) | 'grow' (extend onto
+        announced reserve ranks) | 'balance' (weighted re-split of the
+        same world).
+    repartition_every : int
+        Cadence of the adaptation check in timesteps; 0 means
+        "repartition once, at the earliest legal step".
+    min_steps_between_repartitions : int
+        Hysteresis: minimum timesteps between consecutive
+        repartitions (also the delay of the grow-back after a shrink
+        under ``policy='grow'``).
+    max_repartitions : int
+        Upper bound on cadence-driven repartitions per ``apply``.
+    repartition_weights : tuple of float, optional
+        Per-rank split weights for 'balance' (and for the new world of
+        a grow); ``None`` measures per-rank capacity from the
+        profiler's compute time.
+    elastic_join : dict, optional
+        Joiner mode (internal; set via ``apply(_elastic_join=...)``):
+        ``{'lineage': ..., 'orig': ...}`` parks this rank on the
+        lineage until a grow grants it in, instead of running from
+        ``time_m``.
+    rejoin_timeout : float
+        Seconds a parked joiner (or a healed victim) waits for a grow
+        grant before giving up with ``RemoteRankError``.
     """
 
     def __init__(self, op, policy='abort', checkpoint_every=0,
                  checkpoint_dir='.repro_checkpoints', checkpoint_keep=2,
                  max_recoveries=2, health_check_every=0, health_max=1e12,
-                 resume=False):
+                 resume=False, repartition='off', repartition_every=0,
+                 min_steps_between_repartitions=4, max_repartitions=4,
+                 repartition_weights=None, elastic_join=None,
+                 rejoin_timeout=120.0):
         if policy not in RECOVERY_POLICIES:
             raise ValueError("unknown recovery policy %r (accepted: %s)"
                              % (policy, ', '.join(RECOVERY_POLICIES)))
+        if repartition not in REPARTITION_POLICIES:
+            raise ValueError("unknown repartition policy %r (accepted: "
+                             "%s)" % (repartition,
+                                      ', '.join(REPARTITION_POLICIES)))
         self.op = op
         self.policy = policy
         self.every = int(checkpoint_every)
         self.max_recoveries = int(max_recoveries)
         self.resume = bool(resume)
         self.nrecoveries = 0
+        self.repartition = repartition
+        self.repartition_every = int(repartition_every)
+        self.min_steps = int(min_steps_between_repartitions)
+        self.max_repartitions = int(max_repartitions)
+        self.repartition_weights = None if repartition_weights is None \
+            else tuple(float(w) for w in repartition_weights)
+        self.elastic_join = elastic_join
+        self.rejoin_timeout = float(rejoin_timeout)
+        self.nrepartitions = 0
+        self._last_repartition = None   # step of the latest repartition
+        self._grow_due = None           # step of the pending grow-back
+        self._reserves_waiting = False  # prepare()-time lineage snapshot
+        self._rejoining = False         # this rank is a healed victim
+        self._rejoin_orig = None
         self.checkpointing = (self.every > 0
-                              or policy in ('restart', 'shrink')
+                              or policy in ('restart', 'shrink', 'grow')
                               or self.resume)
         self.checkpointer = Checkpointer(checkpoint_dir,
                                          keep=checkpoint_keep) \
@@ -96,10 +157,13 @@ class ResilienceController:
             # collective over a shared section list)
             if self.checkpointing:
                 prof.register(SectionMeta('checkpoint', 'resilience'))
-            if self.policy in ('restart', 'shrink') or self.resume:
+            if self.policy in ('restart', 'shrink', 'grow') or self.resume:
                 prof.register(SectionMeta('restore', 'resilience'))
             if self.health is not None:
                 prof.register(SectionMeta('healthcheck', 'resilience'))
+            if self.policy == 'grow' or self.repartition != 'off' \
+                    or self.elastic_join is not None:
+                prof.register(SectionMeta('repartition', 'resilience'))
 
         # bound by bind()
         self.comm = None
@@ -120,8 +184,12 @@ class ResilienceController:
 
     def prepare(self):
         """Pre-loop work: resume from disk, or write the baseline
-        checkpoint every recovery policy needs.  Returns the first
-        timestep to execute (collective)."""
+        checkpoint every recovery policy needs.  A joiner
+        (``elastic_join``) instead parks on the lineage until a grow
+        grants it in.  Returns the first timestep to execute
+        (collective)."""
+        if self.elastic_join is not None:
+            return self._join()
         if self.resume:
             step, manifest = self.checkpointer.latest_valid()
             tic = _time.perf_counter()
@@ -134,13 +202,40 @@ class ResilienceController:
             return step
         if self.checkpointing:
             self._save(self.t0)
+        if self.repartition == 'grow' and self.world is not None:
+            # one coordinated snapshot of the announced reserves: the
+            # per-step due-check must be pure arithmetic on state every
+            # rank agrees on, or ranks would diverge on when to leave
+            from .elastic import awaiting_origs
+            self._reserves_waiting = bool(awaiting_origs(self.comm))
         return self.t0
+
+    def _join(self):
+        """Joiner mode: park on the lineage, enter through the grant."""
+        from .elastic import rejoin
+
+        tic = _time.perf_counter()
+        new_comm, step, nbytes = rejoin(self.op,
+                                        self.elastic_join['lineage'],
+                                        self.elastic_join['orig'],
+                                        timeout=self.rejoin_timeout)
+        self.comm = new_comm
+        self._charge('repartition', tic, nbytes, step)
+        self._last_repartition = step
+        self.t0 = step
+        return step
 
     # -- in-loop hook (called by the generated kernel) --------------------
 
     def tick(self, time):
-        """Per-timestep duties: health scan first (catch corruption
-        before snapshotting it), then the periodic checkpoint."""
+        """Per-timestep duties: the elastic due-check first (it leaves
+        the kernel at this quiescent boundary), then the health scan
+        (catch corruption before snapshotting it), then the periodic
+        checkpoint."""
+        kind = self._repartition_due(time)
+        if kind is not None:
+            from .elastic import RepartitionRequest
+            raise RepartitionRequest(kind, time)
         if self.health is not None and self.health.due(time, self.t0):
             tic = _time.perf_counter()
             self.health.check(self.comm, self.world, self._health_fields(),
@@ -149,6 +244,32 @@ class ResilienceController:
         if self.every > 0 and time > self.t0 \
                 and (time - self.t0) % self.every == 0:
             self._save(time)
+
+    def _repartition_due(self, time):
+        """Kind of repartition due at ``time``, or None.
+
+        Pure arithmetic on SPMD-uniform state (``t0``, counters, the
+        prepare-time reserve snapshot), so every rank reaches the same
+        verdict and the raised request is collective by construction.
+        """
+        if self._grow_due is not None and time == self._grow_due:
+            return 'grow'   # the post-shrink grow-back, always honored
+        if self.repartition == 'off':
+            return None
+        if self.nrepartitions >= self.max_repartitions:
+            return None
+        if self.repartition == 'grow' and not self._reserves_waiting:
+            return None
+        if self.repartition_every > 0:
+            if not (time > self.t0
+                    and (time - self.t0) % self.repartition_every == 0):
+                return None
+        elif self.nrepartitions > 0 or time <= self.t0:
+            return None     # cadence 0: once, at the earliest legal step
+        if self._last_repartition is not None \
+                and time - self._last_repartition < self.min_steps:
+            return None     # hysteresis
+        return self.repartition
 
     def _health_fields(self):
         fields = [f for f in self.op.functions
@@ -176,24 +297,57 @@ class ResilienceController:
 
         Called on *every* rank.  Under ``shrink`` the killed rank itself
         returns False after marking itself dead — it leaves the job and
-        re-raises while the survivors recover without it.
+        re-raises while the survivors recover without it.  Under
+        ``grow`` the victim instead announces itself on the lineage and
+        *stays*: its ``recover`` parks until the survivors grow back.
+        A :class:`RepartitionRequest` is always recovered — it is not a
+        failure, and it does not count against ``max_recoveries``.
         """
-        if self.policy not in ('restart', 'shrink'):
+        from .elastic import RepartitionRequest
+
+        if isinstance(exc, RepartitionRequest):
+            return True
+        if self.policy not in ('restart', 'shrink', 'grow'):
             return False
         if not isinstance(exc, RemoteRankError):
             return False  # e.g. NumericalHealthError: never auto-replayed
-        if self.policy == 'shrink' and isinstance(exc, RankKilledError):
+        if self.policy in ('shrink', 'grow') \
+                and isinstance(exc, RankKilledError):
             world = self.world
             if world is not None and \
                     exc.rank == world.orig_of[self.comm.rank]:
+                if self.policy == 'shrink':
+                    world.mark_dead(self.comm.rank)
+                    return False
+                # grow: leave the shrinking world but stay in apply —
+                # announce *before* mark_dead so the survivors' shrink
+                # rendezvous (unblocked by the death) already sees us
+                from .elastic import announce_rejoin
+                announce_rejoin(world.lineage, exc.rank)
                 world.mark_dead(self.comm.rank)
-                return False
+                self._rejoining = True
+                self._rejoin_orig = int(exc.rank)
+                return True
         return self.nrecoveries < self.max_recoveries
 
     def recover(self, exc):
-        """Rebuild state from the newest valid checkpoint (collective
-        over the surviving ranks).  Returns ``(resume_step, arrays,
-        comm)`` for the next kernel attempt."""
+        """Rebuild state for the next kernel attempt (collective over
+        the participating ranks).  Returns ``(resume_step, arrays,
+        comm)``.
+
+        Three shapes: checkpoint recovery (restart / shrink — and the
+        shrink half of ``grow``), a live repartition
+        (:class:`RepartitionRequest`: rebalance, or grow onto announced
+        ranks), and the healed victim's rejoin (parks on the lineage
+        until granted back in).
+        """
+        from .elastic import RepartitionRequest
+
+        if self._rejoining:
+            return self._recover_rejoin()
+        if isinstance(exc, RepartitionRequest):
+            return self._recover_repartition(exc)
+
         from .recovery import perform_restart, perform_shrink
 
         self.nrecoveries += 1
@@ -206,11 +360,62 @@ class ResilienceController:
             new_comm, step, nbytes = perform_shrink(self.op, self.comm,
                                                     self.checkpointer)
             self.comm = new_comm
+            if self.policy == 'grow':
+                # schedule the grow-back: one hysteresis window after
+                # the restored step, clamped so it still fires when the
+                # run is nearly over (the victim is parked waiting)
+                self._grow_due = min(step + max(self.min_steps, 1),
+                                     self.time_M)
         elapsed = _time.perf_counter() - tic
         self._charge('restore', tic, nbytes, step)
         world = self.world
         if world is not None and self.comm.rank == 0:
             world.recovery_stats['recovery_time'] += elapsed
+        self.t0 = step
+        arrays = {f.name: f.data.with_halo
+                  for f in self.op.functions}
+        return step, arrays, self.comm
+
+    def _recover_repartition(self, exc):
+        """A due repartition: rebalance in place or grow onto the
+        announced ranks, resuming at the very step that raised."""
+        from .elastic import perform_grow, perform_rebalance
+
+        tic = _time.perf_counter()
+        step = exc.step
+        if exc.kind == 'balance':
+            self.nrepartitions += 1
+            new_comm, nbytes = perform_rebalance(
+                self.op, self.comm, weights=self.repartition_weights)
+        else:
+            if self._grow_due is None:
+                self.nrepartitions += 1   # cadence-driven, bounded
+            new_comm, nbytes = perform_grow(
+                self.op, self.comm, step,
+                weights=self.repartition_weights)
+            self._grow_due = None
+            self._reserves_waiting = False
+        self.comm = new_comm
+        self._charge('repartition', tic, nbytes, step)
+        self._last_repartition = step
+        self.t0 = step
+        arrays = {f.name: f.data.with_halo
+                  for f in self.op.functions}
+        return step, arrays, self.comm
+
+    def _recover_rejoin(self):
+        """The healed victim's side: park on the lineage until the
+        survivors grow back, then resume as a rank of the new world."""
+        from .elastic import rejoin
+
+        self._rejoining = False
+        tic = _time.perf_counter()
+        new_comm, step, nbytes = rejoin(self.op, self.world.lineage,
+                                        self._rejoin_orig,
+                                        timeout=self.rejoin_timeout)
+        self.comm = new_comm
+        self._charge('repartition', tic, nbytes, step)
+        self._last_repartition = step
         self.t0 = step
         arrays = {f.name: f.data.with_halo
                   for f in self.op.functions}

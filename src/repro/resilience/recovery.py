@@ -80,6 +80,12 @@ def perform_shrink(op, comm, checkpointer):
         disarmed = old_world.disarmed_kills | old_world.pending_kills
         alive = old_world.alive_ranks()
         step, manifest = checkpointer.latest_valid()
+        lineage = old_world.lineage
+        with lineage['cond']:
+            if lineage['topology0'] is None:
+                # remember the pre-shrink process grid so a later grow
+                # back to full size restores it exactly
+                lineage['topology0'] = tuple(op.grid.distributor.topology)
         new_world = SimWorld(
             len(alive),
             faults=old_world.faults if old_world.faults is not None
@@ -87,7 +93,8 @@ def perform_shrink(op, comm, checkpointer):
             recv_timeout=old_world.recv_timeout,
             max_retries=old_world.max_retries,
             check_interval=old_world.check_interval,
-            orig_of=tuple(old_world.orig_of[r] for r in alive))
+            orig_of=tuple(old_world.orig_of[r] for r in alive),
+            lineage=lineage)
         new_world.disarmed_kills = set(disarmed)
         stats = dict(old_world.recovery_stats)
         stats['recoveries'] += 1

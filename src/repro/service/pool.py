@@ -121,7 +121,7 @@ class OperatorPool:
         self._lock = threading.Lock()
         self._build_locks = {}
         self.stats = {'checkouts': 0, 'reuses': 0, 'warm_builds': 0,
-                      'cold_builds': 0, 'discards': 0,
+                      'cold_builds': 0, 'discards': 0, 'donations': 0,
                       'build_seconds': 0.0}
 
     # -- lease lifecycle -----------------------------------------------------------
@@ -165,6 +165,32 @@ class OperatorPool:
                 self.stats['discards'] += 1
             else:
                 idle.append(inst)
+
+    def donate_idle(self, k):
+        """Autoscaling donation: retire up to ``k`` idle instances and
+        return how many were freed.
+
+        Each retired instance releases the capacity of one simulated
+        rank, which the scheduler hands to a hot distributed job as a
+        reserve rank to grow onto (``repro.resilience.elastic``).  Only
+        idle capacity is ever donated — leased instances are untouched,
+        and a later checkout of the same structure simply rebuilds
+        (warm, through the shared build cache).
+        """
+        k = int(k)
+        donated = 0
+        with self._lock:
+            for key in list(self._idle):
+                idle = self._idle[key]
+                while idle and donated < k:
+                    idle.pop()
+                    donated += 1
+                    self.stats['donations'] += 1
+                if not idle:
+                    del self._idle[key]
+                if donated >= k:
+                    break
+        return donated
 
     # -- construction -------------------------------------------------------------
 

@@ -168,10 +168,21 @@ class SurveyScheduler:
     record_dir : str, optional
         When set, every job-state change is persisted as
         ``<record_dir>/<job_id>.json`` (the ``repro status`` surface).
+    autoscale : bool, optional
+        Elastic autoscaling of distributed jobs (``spec.ranks > 1``):
+        at launch, idle pooled instances donate their ranks
+        (:meth:`OperatorPool.donate_idle`) and the job grows onto them
+        mid-run through the elastic repartitioner.  Results are
+        bit-identical to the same job run solo — growth changes only
+        where the bits are computed, never what they are.
+    autoscale_max : int, optional
+        Cap on donated ranks per job (default: ``spec.ranks``, i.e. a
+        job can at most double).
     """
 
     def __init__(self, workers=None, store=None, pool=None, cache=None,
-                 max_retries=None, record_dir=None):
+                 max_retries=None, record_dir=None, autoscale=False,
+                 autoscale_max=None):
         self.workers = int(workers if workers is not None
                            else configuration['service_workers'])
         if self.workers < 1:
@@ -185,6 +196,9 @@ class SurveyScheduler:
                                else configuration['service_retries'])
         self.record_dir = None if record_dir is None \
             else os.fspath(record_dir)
+        self.autoscale = bool(autoscale)
+        self.autoscale_max = None if autoscale_max is None \
+            else int(autoscale_max)
         self._jobs = {}
         self._queue = []                    # heap of (-priority, seq, id)
         self._seq = itertools.count()
@@ -277,6 +291,9 @@ class SurveyScheduler:
         from ..mpi.faults import FaultPlan, RankKilledError
         from ..mpi.sim import RemoteRankError
         spec = record.spec
+        if spec.ranks > 1:
+            self._execute_distributed(record)
+            return
         plan = FaultPlan.parse(spec.faults) if spec.faults else None
         tic = _time.perf_counter()
         try:
@@ -320,6 +337,107 @@ class SurveyScheduler:
         latency = _time.perf_counter() - tic
         with self._cv:
             record.perf = _summary_perf(summary)
+            record.result_keys = keys
+            record.state = JobState.DONE
+            record.completions += 1
+            record.finished_at = _time.time()
+            record.latency_seconds = latency
+        self._persist(record)
+
+    def _execute_distributed(self, record):
+        """Run a ``ranks > 1`` job on its own multi-rank world; with
+        autoscaling, grow mid-run onto ranks donated by idle pooled
+        instances.
+
+        The bit-identity contract of the batch path extends unchanged:
+        a grown job computes exactly the arrays its solo run computes —
+        the elastic repartitioner only moves where blocks live, and the
+        post-grow schedule re-passes the static verifier before a
+        single further step runs.
+        """
+        from ..mpi.faults import FaultPlan, RankKilledError
+        from ..mpi.sim import RemoteRankError, SimComm, SimWorld
+        from ..resilience.elastic import run_elastic
+        from ..resilience.health import NumericalHealthError
+
+        spec = record.spec
+        plan = FaultPlan.parse(spec.faults) if spec.faults else None
+        tic = _time.perf_counter()
+        extra = 0
+        if self.autoscale:
+            cap = spec.ranks if self.autoscale_max is None \
+                else self.autoscale_max
+            extra = self.pool.donate_idle(cap)
+        target = spec.ranks + extra
+        cache = self.pool.cache if self.pool.cache is not None else False
+        worlds = []
+
+        def build(comm):
+            solver, _ = kernel_setup(spec.kernel)(
+                shape=spec.shape, spacing=spec.spacing, tn=spec.tn,
+                space_order=spec.space_order, nbl=spec.nbl, comm=comm,
+                nrec=spec.nrec, cache=cache)
+            return solver
+
+        def run_kwargs():
+            kwargs = {'job_id': record.job_id}
+            if spec.dt is not None:
+                kwargs['dt'] = spec.dt
+            return kwargs
+
+        def active(comm):
+            worlds.append(comm.world)
+            solver = build(comm)
+            kwargs = run_kwargs()
+            if extra:
+                kwargs['repartition'] = 'grow'
+            result = solver.forward(**kwargs)
+            # gather on the (possibly grown) communicator: collective,
+            # so reserves must mirror this call in their epilogue
+            arrays = _gather_results(result)
+            return arrays, result[-1], solver.op.cache_info()['status']
+
+        def reserve(lineage, orig):
+            # build against a throwaway world of the *target* size so
+            # the compiled schedule carries every halo exchange the
+            # grown decomposition needs
+            solver = build(SimComm(SimWorld(target, faults=False), 0))
+            kwargs = run_kwargs()
+            kwargs['_elastic_join'] = {'lineage': lineage, 'orig': orig}
+            result = solver.forward(**kwargs)
+            _gather_results(result)
+            return None
+
+        try:
+            act, _ = run_elastic(active, spec.ranks,
+                                 reserve_fn=reserve if extra else None,
+                                 nreserve=extra,
+                                 faults=plan if plan is not None else False,
+                                 disarmed=record.disarmed)
+        except Exception as exc:  # noqa: BLE001 - contain, classify, retry
+            for w in worlds:
+                record.disarmed |= set(w.pending_kills)
+            retryable = isinstance(exc, (RankKilledError, RemoteRankError,
+                                         NumericalHealthError))
+            self._finish_failed(record, exc, retryable=retryable)
+            return
+        arrays, summary, build_status = act[0]
+        record.cache_statuses.append(build_status)
+        keys = []
+        for name, array in arrays.items():
+            if array is None:
+                continue
+            key = '%s/%s' % (record.job_id, name)
+            if self.store is not None:
+                self.store.put(key, array)
+            else:
+                self._memory_results[key] = array
+            keys.append(key)
+        latency = _time.perf_counter() - tic
+        with self._cv:
+            record.perf = _summary_perf(summary)
+            record.perf['ranks'] = spec.ranks
+            record.perf['grown_ranks'] = extra
             record.result_keys = keys
             record.state = JobState.DONE
             record.completions += 1

@@ -58,6 +58,11 @@ class ShotSpec:
         Grid spacing in m per dimension (default 10 m everywhere).
     nrec : int
         Number of surface receivers (0: no receivers).
+    ranks : int
+        Ranks of the job's private simulated world (default 1).  Jobs
+        with ``ranks > 1`` run distributed; with scheduler autoscaling
+        they can additionally grow onto ranks donated by idle pooled
+        instances mid-run (results stay bit-identical either way).
     dt : float, optional
         Timestep override in ms (default: the model's CFL-stable dt).
     priority : int
@@ -74,12 +79,12 @@ class ShotSpec:
     """
 
     _FIELDS = ('kernel', 'shape', 'tn', 'space_order', 'nbl', 'spacing',
-               'nrec', 'dt', 'priority', 'faults', 'max_retries',
+               'nrec', 'ranks', 'dt', 'priority', 'faults', 'max_retries',
                'job_id')
 
     def __init__(self, kernel, shape, tn=100.0, space_order=4, nbl=10,
-                 spacing=None, nrec=8, dt=None, priority=0, faults=None,
-                 max_retries=None, job_id=None):
+                 spacing=None, nrec=8, ranks=1, dt=None, priority=0,
+                 faults=None, max_retries=None, job_id=None):
         if kernel not in KERNELS:
             raise ValueError("unknown kernel %r; accepted: %s"
                              % (kernel, ', '.join(KERNELS)))
@@ -105,6 +110,9 @@ class ShotSpec:
         self.nrec = int(nrec)
         if self.nrec < 0:
             raise ValueError("nrec must be >= 0")
+        self.ranks = int(ranks)
+        if self.ranks < 1:
+            raise ValueError("ranks must be >= 1")
         self.dt = None if dt is None else float(dt)
         self.priority = int(priority)
         self.faults = faults if faults else None
@@ -128,7 +136,7 @@ class ShotSpec:
         runtime-only and deliberately excluded.
         """
         return (self.kernel, self.shape, self.spacing, self.tn,
-                self.space_order, self.nbl, self.nrec)
+                self.space_order, self.nbl, self.nrec, self.ranks)
 
     # -- (de)serialization --------------------------------------------------------
 

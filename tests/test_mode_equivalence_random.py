@@ -179,6 +179,53 @@ def test_mid_run_kill_restart_matches_serial(case, tmp_path):
         configuration['faults'] = saved
 
 
+# -- the same property under elastic repartitioning --------------------------
+
+
+@pytest.mark.parametrize('case', RECOVERY_CASES,
+                         ids=['case%d' % i
+                              for i in range(len(RECOVERY_CASES))])
+def test_mid_run_kill_grow_back_matches_serial(case, tmp_path):
+    """Every sampled configuration survives kill -> shrink -> grow back
+    to full size (the victim rejoins), bit-identically, in all modes."""
+    reference = _operator_job(None, case, 'basic')
+    saved = configuration['faults']
+    configuration['faults'] = 'seed=11,kill=1@2'
+    try:
+        for mode in MODES:
+            out = run_parallel(
+                lambda c: _operator_job(
+                    c, case, mode, recovery='grow', checkpoint_every=2,
+                    checkpoint_dir=str(tmp_path / ('grow-' + mode))),
+                case['ranks'])
+            for field in out:
+                assert np.array_equal(field, reference), (case, mode)
+    finally:
+        configuration['faults'] = saved
+
+
+@pytest.mark.parametrize('case', RECOVERY_CASES,
+                         ids=['case%d' % i
+                              for i in range(len(RECOVERY_CASES))])
+def test_mid_run_weighted_rebalance_matches_serial(case):
+    """A mid-run weighted rebalance (skewed per-rank weights) leaves
+    every sampled configuration bit-identical to the serial run, in all
+    modes — data moves, results don't."""
+    reference = _operator_job(None, case, 'basic')
+    rng = np.random.default_rng(SEED * 31 + case['steps'])
+    for mode in MODES:
+        weights = tuple(float(w)
+                        for w in rng.uniform(0.5, 4.0, case['ranks']))
+        out = run_parallel(
+            lambda c: _operator_job(
+                c, case, mode, repartition='balance',
+                repartition_every=2, min_steps_between_repartitions=2,
+                max_repartitions=2, repartition_weights=weights),
+            case['ranks'])
+        for field in out:
+            assert np.array_equal(field, reference), (case, mode, weights)
+
+
 # -- the same property through the build cache -------------------------------
 
 WARM_CASES = CASES[:3]

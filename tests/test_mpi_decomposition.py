@@ -107,6 +107,90 @@ class TestDecomposition:
                 assert d.glb_to_loc(q, g) is None
 
 
+class TestWeightedDecomposition:
+    def test_proportional_split(self):
+        d = Decomposition(16, 4, weights=(3.0, 1.0, 1.0, 3.0))
+        assert d.sizes == (6, 2, 2, 6)
+        assert sum(d.sizes) == 16
+
+    def test_equal_weights_match_unweighted(self):
+        for npoints, nparts in ((10, 3), (8, 4), (17, 5), (7, 7)):
+            unweighted = Decomposition(npoints, nparts)
+            weighted = Decomposition(npoints, nparts,
+                                     weights=(1.0,) * nparts)
+            assert weighted.sizes == unweighted.sizes
+
+    def test_zero_weight_floored_to_one_point(self):
+        d = Decomposition(10, 3, weights=(1.0, 0.0, 1.0))
+        assert d.sizes[1] >= 1
+        assert sum(d.sizes) == 10
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition(10, 3, weights=(0.0, 0.0, 0.0))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition(10, 3, weights=(1.0, -1.0, 1.0))
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition(10, 3, weights=(1.0, 2.0))
+
+    def test_extreme_skew_keeps_every_part_nonempty(self):
+        d = Decomposition(8, 4, weights=(1e9, 1.0, 1e-9, 1e-9))
+        assert sum(d.sizes) == 8
+        assert min(d.sizes) >= 1
+        assert d.sizes[0] == max(d.sizes)
+
+    def test_nparts_exceeding_npoints_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition(3, 5, weights=(1.0,) * 5)
+
+    def test_weights_recorded(self):
+        d = Decomposition(10, 2, weights=(3, 1))
+        assert d.weights == (3.0, 1.0)
+        assert Decomposition(10, 2).weights is None
+
+    @given(st.integers(1, 120), st.integers(1, 8), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_weighted_partition_invariants(self, npoints, nparts, data):
+        """Weighted parts are disjoint, cover the domain exactly, and
+        are never empty — for any weights, however degenerate."""
+        if nparts > npoints:
+            return
+        weights = data.draw(st.lists(
+            st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=nparts, max_size=nparts))
+        if sum(weights) <= 0:
+            return
+        d = Decomposition(npoints, nparts, weights=weights)
+        covered = []
+        for p in range(nparts):
+            start, stop = d.local_range(p)
+            covered.extend(range(start, stop))
+        assert covered == list(range(npoints))
+        assert min(d.sizes) >= 1
+
+    @given(st.integers(8, 200), st.integers(2, 6), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_split_tracks_proportions(self, npoints, nparts,
+                                               data):
+        """Each part's share is within one point of its exact quota
+        (largest-remainder apportionment), pre-floor."""
+        weights = data.draw(st.lists(st.floats(0.5, 10.0),
+                                     min_size=nparts, max_size=nparts))
+        total = sum(weights)
+        if min(weights) / total * npoints < 1.0:
+            # a sub-one quota triggers the no-empty-part floor, which
+            # deliberately trades proportionality for validity
+            return
+        d = Decomposition(npoints, nparts, weights=weights)
+        for p in range(nparts):
+            quota = npoints * weights[p] / total
+            assert abs(d.size(p) - quota) < 1.0 + 1e-9
+
+
 class TestDistributor:
     def test_serial_distributor(self):
         dist = Distributor((8, 8))

@@ -346,6 +346,105 @@ class TestSchedulerProperties:
             SurveyScheduler(workers=0)
 
 
+class TestAutoscale:
+    """Distributed shots + elastic autoscaling: pooled idle capacity is
+    donated to hot jobs, which grow onto it mid-run — bit-identically."""
+
+    DIST = dict(kernel='acoustic', shape=(16, 16), tn=40.0,
+                space_order=2, nbl=2, nrec=3)
+
+    def _park_idle(self, pool, n):
+        """Warm ``n`` idle 1-rank instances into the pool."""
+        warm = ShotSpec(**self.DIST)
+        leased = [pool.checkout(warm) for _ in range(n)]
+        for inst in leased:
+            pool.checkin(inst)
+        assert pool.idle_count() == n
+
+    def test_distributed_job_bit_identical_to_solo(self):
+        spec = ShotSpec(**self.DIST, ranks=2)
+        sched = SurveyScheduler(workers=1, cache=False)
+        jid = sched.submit(spec)
+        report = sched.run()
+        assert not report.failed
+        rec = sched.status(jid)
+        assert rec['perf']['ranks'] == 2
+        assert rec['perf']['grown_ranks'] == 0
+        solo = _solo(spec)
+        got = sched.result(jid)
+        assert np.array_equal(got['wavefield'], solo['wavefield'])
+        assert np.array_equal(got['rec'], solo['rec'])
+
+    def test_autoscale_grows_onto_donated_ranks(self):
+        pool = OperatorPool(cache=False)
+        sched = SurveyScheduler(workers=1, pool=pool, autoscale=True)
+        self._park_idle(pool, 2)
+        spec = ShotSpec(**self.DIST, ranks=2)
+        jid = sched.submit(spec)
+        report = sched.run()
+        assert not report.failed
+        rec = sched.status(jid)
+        assert rec['perf']['ranks'] == 2
+        assert rec['perf']['grown_ranks'] == 2
+        assert pool.stats['donations'] == 2
+        assert pool.idle_count() == 0
+        # mid-run growth 2 -> 4 left the results bit-identical
+        solo = _solo(spec)
+        got = sched.result(jid)
+        assert np.array_equal(got['wavefield'], solo['wavefield'])
+        assert np.array_equal(got['rec'], solo['rec'])
+
+    def test_autoscale_max_caps_donations(self):
+        pool = OperatorPool(cache=False)
+        sched = SurveyScheduler(workers=1, pool=pool, autoscale=True,
+                                autoscale_max=1)
+        self._park_idle(pool, 2)
+        spec = ShotSpec(**self.DIST, ranks=2)
+        jid = sched.submit(spec)
+        report = sched.run()
+        assert not report.failed
+        rec = sched.status(jid)
+        assert rec['perf']['grown_ranks'] == 1
+        assert pool.stats['donations'] == 1
+        assert pool.idle_count() == 1
+        got = sched.result(jid)
+        solo = _solo(spec)
+        assert np.array_equal(got['wavefield'], solo['wavefield'])
+
+    def test_autoscale_without_idle_capacity_runs_as_requested(self):
+        pool = OperatorPool(cache=False)
+        sched = SurveyScheduler(workers=1, pool=pool, autoscale=True)
+        spec = ShotSpec(**self.DIST, ranks=2)
+        jid = sched.submit(spec)
+        report = sched.run()
+        assert not report.failed
+        rec = sched.status(jid)
+        assert rec['perf']['grown_ranks'] == 0
+        got = sched.result(jid)
+        solo = _solo(spec)
+        assert np.array_equal(got['wavefield'], solo['wavefield'])
+        assert np.array_equal(got['rec'], solo['rec'])
+
+    def test_autoscaled_results_in_store_crc_and_geometry(self, tmp_path):
+        """Arrays persisted after a mid-batch autoscale read back with
+        valid CRCs and the same geometry + bytes as the solo run."""
+        pool = OperatorPool(cache=False)
+        sched = SurveyScheduler(workers=1, pool=pool, autoscale=True,
+                                store=str(tmp_path))
+        self._park_idle(pool, 2)
+        spec = ShotSpec(**self.DIST, ranks=2)
+        jid = sched.submit(spec)
+        report = sched.run()
+        assert not report.failed
+        store = ArrayStore(tmp_path)
+        solo = _solo(spec)
+        for key in ('wavefield', 'rec'):
+            arr = store.get('%s/%s' % (jid, key))  # CRC-checked read
+            assert arr.shape == solo[key].shape
+            assert arr.dtype == solo[key].dtype
+            assert np.array_equal(arr, solo[key])
+
+
 class TestFaultMatrix:
     """PR 2 fault injection against the batch: kills stay contained."""
 
