@@ -17,7 +17,16 @@ Passes (each a pure function ``Schedule -> [Diagnostic]``):
 * :mod:`.races`         — loop-carried read/write and write/write races
   in parallel compute steps (``REPRO-E111/E112``);
 * :mod:`.lint`          — out-of-bounds accesses, unused temporaries,
-  dead writes (``REPRO-E121``, ``W211/W212``).
+  dead writes (``REPRO-E121``, ``W211/W212``);
+* :mod:`.dataflow`      — affine access maps: minimal-halo inference
+  vs the scheduled exchanges (``REPRO-W203``), the inference/lattice
+  cross-check (``REPRO-E122``), and the interval-analysis in-bounds
+  proof over every generated access (``REPRO-E123``).
+
+The dataflow engine also produces the static
+:class:`~.certificate.CommCertificate` — the predicted per-neighbor
+message counts and byte volumes the ``reconcile`` sanitizer mode checks
+against the runtime commlog ledger after every ``apply``.
 
 Entry points: :func:`analyze_schedule` collects every diagnostic into an
 :class:`AnalysisReport`; :func:`verify_schedule` is the compile-time gate
@@ -31,6 +40,11 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from .certificate import (CertificateEntry, CommCertificate,
+                          ReconcileError, build_certificate)
+from .dataflow import (AccessMap, access_maps, check_dataflow,
+                       check_inbounds, declared_widths,
+                       dependence_distances, infer_min_widths)
 from .diagnostics import (CODES, ERROR, WARNING, AnalysisError,
                           AnalysisReport, Diagnostic)
 from .footprint import (Key, Widths, covers, cluster_reads, cluster_writes,
@@ -38,25 +52,39 @@ from .footprint import (Key, Widths, covers, cluster_reads, cluster_writes,
 from .halo_coverage import check_halo_coverage
 from .lint import check_bounds, check_dead_code
 from .races import check_races
-from .render import (describe_key, format_widths, render_report,
-                     render_schedule)
+from .render import (describe_key, format_widths, merge_reports,
+                     render_merged, render_report, render_schedule)
 from .sanitizer import (HaloPoisonError, HaloSanitizer, make_sanitizer,
                         poison_boxes)
 
 __all__ = [
+    'ANALYSIS_VERSION',
     'AnalysisError', 'AnalysisReport', 'Diagnostic', 'CODES', 'ERROR',
     'WARNING',
     'Key', 'Widths', 'covers', 'cluster_reads', 'cluster_writes',
     'read_footprints', 'union_widths', 'widths_max',
     'check_halo_coverage', 'check_races', 'check_bounds',
-    'check_dead_code',
-    'describe_key', 'format_widths', 'render_report', 'render_schedule',
+    'check_dead_code', 'check_dataflow', 'check_inbounds',
+    'AccessMap', 'access_maps', 'dependence_distances',
+    'infer_min_widths', 'declared_widths',
+    'CertificateEntry', 'CommCertificate', 'ReconcileError',
+    'build_certificate',
+    'describe_key', 'format_widths', 'merge_reports', 'render_merged',
+    'render_report', 'render_schedule',
     'HaloPoisonError', 'HaloSanitizer', 'make_sanitizer', 'poison_boxes',
     'analyze_schedule', 'verify_schedule',
 ]
 
+#: Version of the verifier semantics, folded into the build-cache
+#: fingerprint: cached artifacts embed analysis diagnostics and
+#: communication certificates, so any change to what the passes compute
+#: must invalidate them (bump on every behavioral change to this
+#: package).  2: dataflow engine (W203/E122/E123) + certificates.
+ANALYSIS_VERSION = 2
+
 #: the pass pipeline, in execution (and report) order
-PASSES = (check_halo_coverage, check_races, check_bounds, check_dead_code)
+PASSES = (check_halo_coverage, check_races, check_bounds, check_dead_code,
+          check_dataflow, check_inbounds)
 
 
 def analyze_schedule(schedule: Any, kernel: Any = None,

@@ -37,11 +37,31 @@ code                    severity  meaning
 ``REPRO-E121``          error     out-of-bounds access: an offset
                                   exceeds the function's allocated
                                   (padded) halo extent
+``REPRO-E122``          error     dataflow/lattice disagreement: the
+                                  affine inference derives a minimal
+                                  halo the scheduled exchanges do not
+                                  cover, yet the lattice verifier
+                                  reports the schedule clean — the two
+                                  independent oracles contradict each
+                                  other (an analyzer bug, not a user
+                                  error)
+``REPRO-E123``          error     cannot prove access in-bounds: the
+                                  interval analysis over loop bounds
+                                  and affine offsets fails to prove an
+                                  array access (compute, sparse, or
+                                  sanitizer poison write) within the
+                                  allocated extent
 ``REPRO-W201``          warning   redundant halo exchange: the data was
                                   not dirty, or nothing reads it before
                                   it is dirtied again
 ``REPRO-W202``          warning   over-wide halo exchange: exchanged
                                   depth exceeds every subsequent read
+``REPRO-W203``          warning   halo wider than any read requires:
+                                  a scheduled exchange is deeper than
+                                  the schedule-independent minimal
+                                  width the dataflow engine infers
+                                  (message includes the wasted
+                                  bytes/step)
 ``REPRO-W211``          warning   unused temporary (CSE/hoisted scalar
                                   never referenced)
 ``REPRO-W212``          warning   dead write: overwritten by a later
@@ -68,8 +88,11 @@ CODES: Dict[str, Tuple[str, str]] = {
     'REPRO-E111': (ERROR, 'loop-carried read/write race'),
     'REPRO-E112': (ERROR, 'loop-carried write/write race'),
     'REPRO-E121': (ERROR, 'out-of-bounds access'),
+    'REPRO-E122': (ERROR, 'dataflow/lattice verifier disagreement'),
+    'REPRO-E123': (ERROR, 'cannot prove access in-bounds'),
     'REPRO-W201': (WARNING, 'redundant halo exchange'),
     'REPRO-W202': (WARNING, 'over-wide halo exchange'),
+    'REPRO-W203': (WARNING, 'halo wider than any read requires'),
     'REPRO-W211': (WARNING, 'unused temporary'),
     'REPRO-W212': (WARNING, 'dead write'),
 }
@@ -98,6 +121,24 @@ class Diagnostic:
     @property
     def is_error(self) -> bool:
         return self.severity == ERROR
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The stable machine-readable form (``repro analyze --format
+        json``).  Keys are part of the CLI contract: add, never rename."""
+        return {'code': self.code, 'severity': self.severity,
+                'title': self.title, 'message': self.message,
+                'step_index': self.step_index, 'where': self.where}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> 'Diagnostic':
+        return cls(str(payload['code']), str(payload['message']),
+                   step_index=payload.get('step_index'),
+                   where=payload.get('where'))
+
+    def identity(self) -> Tuple[str, str, Optional[int], Optional[str]]:
+        """The cross-rank dedup key: two ranks reporting this identical
+        tuple are reporting the *same* finding."""
+        return (self.code, self.message, self.step_index, self.where)
 
     def format(self) -> str:
         loc = ''
@@ -152,6 +193,18 @@ class AnalysisReport:
     def __bool__(self) -> bool:
         """Truthy when *clean* (no diagnostics) — ``assert op.analyze()``."""
         return not self.diagnostics
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Machine-readable report summary (stable JSON schema)."""
+        return {'clean': not self.diagnostics,
+                'errors': len(self.errors),
+                'warnings': len(self.warnings),
+                'diagnostics': [d.to_payload() for d in self.diagnostics]}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> 'AnalysisReport':
+        return cls(diagnostics=[Diagnostic.from_payload(p)
+                                for p in payload['diagnostics']])
 
     def render(self) -> str:
         """The full pretty report (codes, locations, source excerpts)."""

@@ -10,15 +10,21 @@ Three rendering layers, all shared with the rest of the toolchain:
   depths;
 * :func:`render_report` — the full diagnostic report, with schedule-step
   excerpts and (when a :class:`~repro.codegen.pybackend.PyKernel` is
-  attached) the matching line range of the generated kernel source.
+  attached) the matching line range of the generated kernel source;
+* :func:`merge_reports` / :func:`render_merged` — the cross-rank view:
+  SPMD analysis produces one report per rank, and on a symmetric
+  decomposition most findings are rank-identical — these collapse each
+  distinct finding to a single line annotated with the ranks reporting
+  it (``[all ranks]`` / ``[ranks 0, 2]``), with the verbatim per-rank
+  reports available under ``verbose``.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ['describe_key', 'format_widths', 'render_schedule',
-           'render_report']
+           'render_report', 'merge_reports', 'render_merged']
 
 
 def describe_key(key: Tuple[str, Optional[int]]) -> str:
@@ -149,4 +155,70 @@ def render_report(report: Any) -> str:
         if d.step_index is not None:
             lines.extend(_step_excerpt(report.schedule, d.step_index))
             lines.extend(_source_excerpt(report.kernel, d.step_index))
+    return '\n'.join(lines)
+
+
+def merge_reports(reports: Sequence[Any]) -> List[Tuple[Any, List[int]]]:
+    """Collapse per-rank reports into ``[(diagnostic, ranks)]``.
+
+    ``reports[rank]`` is rank's :class:`AnalysisReport` (or None for a
+    rank with no report).  Two diagnostics merge iff their
+    :meth:`~.diagnostics.Diagnostic.identity` tuples — code, message,
+    step index, location — are identical; order is first appearance
+    scanning ranks in order, so the merged view matches rank 0's
+    ordering whenever the decomposition is symmetric.
+    """
+    order: List[Tuple[Any, List[int]]] = []
+    index: Dict[Tuple[Any, ...], List[int]] = {}
+    for rank, report in enumerate(reports):
+        if report is None:
+            continue
+        for d in report:
+            key = d.identity()
+            ranks = index.get(key)
+            if ranks is None:
+                ranks = index[key] = [rank]
+                order.append((d, ranks))
+            elif ranks[-1] != rank:
+                ranks.append(rank)
+    return order
+
+
+def _format_ranks(ranks: Sequence[int], nranks: int) -> str:
+    if nranks > 1 and len(ranks) == nranks:
+        return 'all ranks'
+    if len(ranks) == 1:
+        return 'rank %d' % ranks[0]
+    return 'ranks %s' % ', '.join(str(r) for r in ranks)
+
+
+def render_merged(reports: Sequence[Any], verbose: bool = False) -> str:
+    """The cross-rank diagnostic report.
+
+    Deduplicates rank-identical findings into one line each, annotated
+    with the reporting ranks; ``verbose`` appends every rank's verbatim
+    :func:`render_report` (excerpts included) after the merged summary.
+    """
+    nranks = len(reports)
+    merged = merge_reports(reports)
+    errors = sum(1 for d, _ in merged if d.is_error)
+    warnings = len(merged) - errors
+    lines: List[str] = []
+    if not merged:
+        lines.append('analysis: clean on %s (no diagnostics)'
+                     % _format_ranks(list(range(nranks)), nranks))
+    else:
+        lines.append('analysis: %d distinct error(s), %d distinct '
+                     'warning(s) across %d rank(s)'
+                     % (errors, warnings, nranks))
+        for d, ranks in merged:
+            lines.append('%s  [%s]' % (d.format(),
+                                       _format_ranks(ranks, nranks)))
+    if verbose:
+        for rank, report in enumerate(reports):
+            if report is None:
+                continue
+            lines.append('')
+            lines.append('--- rank %d ---' % rank)
+            lines.append(render_report(report))
     return '\n'.join(lines)

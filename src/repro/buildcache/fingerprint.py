@@ -29,6 +29,7 @@ operator then simply builds cold (uncacheable, never wrong).
 
 from __future__ import annotations
 
+from ..analysis import ANALYSIS_VERSION
 from ..symbolics.hashing import TokenEmitter
 
 __all__ = ['fingerprint_build']
@@ -84,10 +85,14 @@ def fingerprint_build(expressions, *, mpi_mode, opt, verify, sanitizer,
     treat that as "uncacheable" and build cold.
     """
     emitter = TokenEmitter()
-    # build configuration context (every source-affecting switch)
+    # build configuration context (every source-affecting switch).  The
+    # sanitizer is a tri-state (off / poison / reconcile) and the
+    # verifier version is folded in because cached artifacts embed
+    # analysis diagnostics and communication certificates — a change to
+    # what the passes compute must invalidate them.
     emitter.token('cfg', str(mpi_mode), int(bool(opt)), int(bool(verify)),
-                  int(bool(sanitizer)), int(bool(instrument)),
-                  int(bool(progress)), backend)
+                  str(sanitizer), int(bool(instrument)),
+                  int(bool(progress)), backend, int(ANALYSIS_VERSION))
     flat = _flatten(expressions)
     emitter.token('exprs', len(flat))
     for e in flat:

@@ -21,13 +21,17 @@ generated schedule *without* executing anything::
         --mpi diagonal --ranks 4 --dump-schedule
 
 building the operator on every simulated rank, running all analysis
-passes (halo coverage, race detection, bounds & dead-code lint) and
-printing the diagnostic report; the exit status is nonzero when any
-``REPRO-E*`` diagnostic fires.  ``--dump-schedule`` additionally prints
-the human-readable schedule (one line per step, annotated with the
-profiling section names).  The benchmark mode's ``--sanitize`` flag
-instead instruments the *generated kernel* with the NaN poisoned-halo
-sanitizer, catching stale-halo reads at runtime.
+passes (halo coverage, race detection, bounds & dead-code lint, the
+affine dataflow engine with its minimal-halo inference and in-bounds
+proof) and printing the cross-rank merged diagnostic report; the exit
+status is nonzero when any ``REPRO-E*`` diagnostic fires on any rank.
+``--dump-schedule`` additionally prints the human-readable schedule,
+``--certificate`` the per-rank static communication certificates, and
+``--format json`` the stable machine-readable schema.  The benchmark
+mode's ``--sanitize`` flag instead instruments the *run*: bare or
+``poison`` for the NaN poisoned-halo sanitizer, ``reconcile`` to check
+the commlog send ledger against the static certificate after every
+``apply``.
 """
 
 from __future__ import annotations
@@ -139,12 +143,16 @@ def _parser():
     p.add_argument('--health-check-every', type=int, default=None,
                    metavar='N',
                    help='NaN/Inf/blowup scan cadence in timesteps')
-    p.add_argument('--sanitize', action='store_true',
-                   help='generate the kernel in poisoned-halo sanitizer '
-                        'mode: neighbor-owned ghost cells are NaN-'
-                        'poisoned every iteration and written domains '
-                        'scanned, so a stale-halo read aborts the run '
-                        'instead of silently corrupting it')
+    p.add_argument('--sanitize', nargs='?', const='poison',
+                   choices=['poison', 'reconcile'], default=None,
+                   help='runtime sanitizer mode.  poison (the default '
+                        'when the flag is given bare): generate the '
+                        'kernel with NaN-poisoned neighbor-owned ghost '
+                        'cells so a stale-halo read aborts the run.  '
+                        'reconcile: after every apply, compare the '
+                        'commlog send ledger against the static '
+                        'communication certificate and abort on any '
+                        'message-count or byte mismatch')
     p.add_argument('--dump-schedule', action='store_true',
                    help='print the human-readable schedule of the '
                         'generated operator (one line per step, with '
@@ -188,7 +196,8 @@ def _analyze_parser():
         prog='python -m repro.cli analyze',
         description='Statically verify the generated schedule of a '
                     'propagator (halo coverage, race detection, bounds '
-                    '& dead-code lint) without running it.')
+                    '& dead-code lint, minimal-halo inference, the '
+                    'in-bounds proof) without running it.')
     p.add_argument('kernel', choices=['acoustic', 'elastic', 'tti',
                                       'viscoelastic'])
     p.add_argument('-d', '--shape', nargs='+', type=int,
@@ -218,6 +227,21 @@ def _analyze_parser():
                    help='print DAG statistics of the scheduled '
                         'expressions (unique vs tree node counts, '
                         'sharing factor, depth)')
+    p.add_argument('--certificate', action='store_true',
+                   help='also print every rank\'s static communication '
+                        'certificate: the predicted per-neighbor message '
+                        'counts and byte volumes the reconcile sanitizer '
+                        'checks at runtime')
+    p.add_argument('--format', dest='fmt', choices=['text', 'json'],
+                   default='text',
+                   help='output format; json emits the stable machine-'
+                        'readable schema (merged diagnostics with rank '
+                        'lists, per-rank certificates and inferred '
+                        'minimal halo widths) with the same exit status')
+    p.add_argument('-v', '--verbose', action='store_true',
+                   help='text format: append every rank\'s verbatim '
+                        'report (schedule/source excerpts included) '
+                        'after the merged cross-rank summary')
     return p
 
 
@@ -343,8 +367,13 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
         configuration['cache_dir'] = cache_dir
     saved_sanitizer = configuration['sanitizer']
     if sanitize:
-        configuration['sanitizer'] = True
-        print('sanitizer       : poisoned-halo (NaN) mode', file=out)
+        if sanitize == 'reconcile':
+            configuration['sanitizer'] = 'reconcile'
+            print('sanitizer       : certificate reconcile mode',
+                  file=out)
+        else:  # True / 'poison'
+            configuration['sanitizer'] = True
+            print('sanitizer       : poisoned-halo (NaN) mode', file=out)
     if profile is not None:
         saved_level = configuration['profiling']
         configuration['profiling'] = profile
@@ -447,7 +476,8 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
 
 def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
                 topology=None, weights=None, opt=True, dump_schedule=False,
-                count_nodes=False, out=None):
+                count_nodes=False, certificate=False, fmt='text',
+                verbose=False, out=None):
     """Build the operator (on every simulated rank when ``ranks > 1``)
     and run the static verifier over its schedule — no execution.
 
@@ -455,10 +485,30 @@ def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
     the weighted decomposition an elastic rebalance would install, so a
     planned repartition can be statically verified up front.
 
-    Returns the rank-0 :class:`~repro.analysis.AnalysisReport`.
+    Diagnostics from *every* rank are merged: findings identical across
+    ranks print once with the reporting rank list (``verbose`` appends
+    the per-rank verbatim reports).  ``certificate`` additionally prints
+    each rank's static :class:`~repro.analysis.CommCertificate`.
+
+    ``fmt='json'`` emits the stable machine-readable schema instead
+    (keys are a contract — add, never rename)::
+
+        {"schema": 1, "kernel": ..., "shape": [...],
+         "space_order": ..., "mpi": "basic"|...|null, "ranks": N,
+         "clean": bool, "errors": n, "warnings": n,
+         "diagnostics": [{code, severity, title, message, step_index,
+                          where, ranks: [...]}, ...],
+         "certificates": [per-rank CommCertificate payload, ...],
+         "inferred_widths": [{"u[t]": [[l, r], ...], ...}, ...]}
+
+    Returns the merged cross-rank :class:`~repro.analysis.
+    AnalysisReport` — its ``errors`` decide the exit status, so an
+    error on *any* rank fails the run in every output format.
     """
     out = out if out is not None else sys.stdout
-    from .analysis import analyze_schedule
+    from .analysis import (AnalysisReport, analyze_schedule,
+                           build_certificate, describe_key,
+                           infer_min_widths, merge_reports, render_merged)
     setup = _setups()[kernel]
     spacing = (10.0,) * len(shape)
 
@@ -482,15 +532,48 @@ def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
                           mpi=mpi if comm is not None else None,
                           opt=opt, nrec=16)
         op = solver.op
-        return analyze_schedule(op.schedule, kernel=op.kernel,
-                                profiler=op.profiler), op
+        report = analyze_schedule(op.schedule, kernel=op.kernel,
+                                  profiler=op.profiler)
+        return (report, build_certificate(op.schedule),
+                infer_min_widths(op.schedule), op)
 
     if ranks == 1:
-        report, op = build()
+        results = [build()]
     else:
         from .mpi import run_parallel
         results = run_parallel(build, ranks)
-        report, op = results[0]
+    reports = [r[0] for r in results]
+    certificates = [r[1] for r in results]
+    inferred = [r[2] for r in results]
+    op = results[0][3]
+
+    merged_pairs = merge_reports(reports)
+    merged = AnalysisReport(diagnostics=[d for d, _ in merged_pairs],
+                            schedule=op.schedule, kernel=op.kernel)
+
+    if fmt == 'json':
+        import json as _json
+        payload = {
+            'schema': 1,
+            'kernel': kernel,
+            'shape': [int(n) for n in shape],
+            'space_order': int(space_order),
+            'mpi': mpi if ranks > 1 else None,
+            'ranks': int(ranks),
+            'clean': not merged.diagnostics,
+            'errors': len(merged.errors),
+            'warnings': len(merged.warnings),
+            'diagnostics': [dict(d.to_payload(), ranks=list(rk))
+                            for d, rk in merged_pairs],
+            'certificates': [c.to_payload() for c in certificates],
+            'inferred_widths': [
+                {describe_key(k): [list(w) for w in v]
+                 for k, v in sorted(ws.items(),
+                                    key=lambda kv: describe_key(kv[0]))}
+                for ws in inferred],
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return merged
 
     print('--- analyze %s | shape %s | SDO %d | mpi=%s | ranks=%d ---'
           % (kernel, 'x'.join(map(str, shape)), space_order,
@@ -508,8 +591,11 @@ def run_analyze(kernel, shape, space_order, nbl=10, mpi='basic', ranks=2,
               % (stats['roots'], stats['unique_nodes'],
                  stats['tree_nodes'], stats['sharing'], stats['depth']),
               file=out)
-    print(report.render(), file=out)
-    return report
+    print(render_merged(reports, verbose=verbose), file=out)
+    if certificate:
+        for cert in certificates:
+            print(cert.describe(), file=out)
+    return merged
 
 
 def _report(kernel, shape, so, mpi, ranks, summary, op, out,
@@ -820,7 +906,9 @@ def main(argv=None):
                              topology=args.topology, weights=weights,
                              opt=not args.no_opt,
                              dump_schedule=args.dump_schedule,
-                             count_nodes=args.count_nodes)
+                             count_nodes=args.count_nodes,
+                             certificate=args.certificate, fmt=args.fmt,
+                             verbose=args.verbose)
         if report.errors:
             raise SystemExit(1)
         return

@@ -35,14 +35,16 @@ from ..profiling import Profiler, SectionMeta
 __all__ = ['ARTIFACT_VERSION', 'ArtifactError', 'KernelArtifact']
 
 #: bump on any change to the payload layout below (old entries are then
-#: rejected by :meth:`KernelArtifact.from_payload` and rebuilt cold)
-ARTIFACT_VERSION = 1
+#: rejected by :meth:`KernelArtifact.from_payload` and rebuilt cold).
+#: 2: the static communication certificate joined the payload.
+ARTIFACT_VERSION = 2
 
 _REQUIRED_KEYS = ('version', 'source', 'step_lines', 'sections',
                   'exchangers', 'mpi_mode', 'sanitizer_writes',
                   'functions', 'sparse_functions', 'sparse_steps',
                   'constants', 'uses_dt', 'flops_per_point',
-                  'traffic_per_point', 'analysis', 'build_seconds')
+                  'traffic_per_point', 'analysis', 'certificate',
+                  'build_seconds')
 
 
 class ArtifactError(RuntimeError):
@@ -136,6 +138,9 @@ class KernelArtifact:
         if op.analysis is not None:
             analysis = [[d.code, d.message, d.step_index, d.where]
                         for d in op.analysis]
+        certificate = None
+        if getattr(op, 'certificate', None) is not None:
+            certificate = op.certificate.to_payload()
         payload = {
             'version': ARTIFACT_VERSION,
             'source': kernel.source,
@@ -155,6 +160,7 @@ class KernelArtifact:
             'flops_per_point': op._flops_per_point,
             'traffic_per_point': op._traffic_per_point,
             'analysis': analysis,
+            'certificate': certificate,
             'build_seconds': float(build_seconds),
         }
         return cls(payload)
@@ -294,6 +300,21 @@ class KernelArtifact:
                        in self.payload['analysis']]
         return AnalysisReport(diagnostics=diagnostics, schedule=None,
                               kernel=kernel)
+
+    def rehydrate_certificate(self):
+        """Rebuild the cached static communication certificate (or
+        None).  Certificates are per-rank and per-decomposition — both
+        part of the cache key, so the cached prediction is exact for
+        the rehydrated kernel."""
+        payload = self.payload.get('certificate')
+        if payload is None:
+            return None
+        from ..analysis.certificate import CommCertificate
+        try:
+            return CommCertificate.from_payload(payload)
+        except (KeyError, TypeError, ValueError) as e:
+            raise ArtifactError("malformed certificate payload: %s"
+                                % (e,)) from None
 
     def __repr__(self):
         return ('KernelArtifact(v%d, %d sections, %d exchangers, %dB)'

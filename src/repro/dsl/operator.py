@@ -70,14 +70,20 @@ class Operator:
         Instrumentation level: 'off', 'basic' or 'advanced'.  Defaults
         to ``configuration['profiling']``.  At 'off' the generated source
         contains no timing calls (compiled out, not branched at runtime).
-    sanitizer : bool or None
-        Compile the poisoned-halo sanitizer hooks into the kernel
+    sanitizer : bool, str or None
+        Runtime sanitizer mode.  ``True`` or ``'poison'`` compiles the
+        poisoned-halo sanitizer hooks into the kernel
         (:mod:`repro.analysis.sanitizer`): NaN sentinels are planted in
         every neighbor-owned ghost cell each iteration and every written
         DOMAIN region is scanned, so a read of an unrefreshed halo cell
         raises :class:`~repro.analysis.HaloPoisonError` at runtime —
-        the dynamic complement of the static verifier.  Defaults to
-        ``configuration['sanitizer']`` (env ``REPRO_SANITIZER``).
+        the dynamic complement of the static verifier.  ``'reconcile'``
+        leaves the kernel untouched but, after every successful
+        ``apply``, compares the per-run commlog send ledger against the
+        operator's static :class:`~repro.analysis.CommCertificate` and
+        raises :class:`~repro.analysis.ReconcileError` on any message
+        count or byte mismatch (a static-vs-dynamic oracle).  Defaults
+        to ``configuration['sanitizer']`` (env ``REPRO_SANITIZER``).
     cache : None, bool, str or BuildCache
         Build-cache control for this operator: ``None`` (default)
         follows ``configuration['build_cache']``; ``True``/``False``
@@ -101,8 +107,14 @@ class Operator:
         self.profiler = Profiler(profiling if profiling is not None
                                  else configuration['profiling'])
         self._progress = bool(progress)
-        self._sanitize = bool(sanitizer if sanitizer is not None
-                              else configuration['sanitizer'])
+        #: False (off), True (poisoned-halo hooks) or 'reconcile'
+        #: (certificate-vs-ledger check after every apply)
+        self._sanitize = self._sanitize_mode(
+            sanitizer if sanitizer is not None
+            else configuration['sanitizer'])
+        #: the static CommCertificate of this rank's kernel (predicted
+        #: per-neighbor message counts/bytes; None until built)
+        self.certificate = None
         #: the verify gate is on for opt='verify', or globally via
         #: REPRO_OPT=verify — with explicit ``opt=False`` as the
         #: debugging escape hatch that opts out of the global gate too
@@ -152,6 +164,18 @@ class Operator:
 
     # -- build-time plumbing ----------------------------------------------------
 
+    @staticmethod
+    def _sanitize_mode(value):
+        """Normalize a sanitizer spec to False / True / 'reconcile'."""
+        if isinstance(value, str):
+            low = value.strip().lower()
+            if low == 'reconcile':
+                return 'reconcile'
+            if low == 'poison':
+                return True
+        from ..parameters import _as_bool
+        return _as_bool(value)
+
     def _cold_build(self, expressions, opt):
         """The full pipeline: lower, schedule, codegen, (verify), bind."""
         self._schedule = build_schedule(expressions,
@@ -162,7 +186,9 @@ class Operator:
         self.kernel = generate_kernel(self._schedule,
                                       progress=self._progress,
                                       profiler=self.profiler,
-                                      sanitizer=self._sanitize)
+                                      sanitizer=self._sanitize is True)
+        from ..analysis.certificate import build_certificate
+        self.certificate = build_certificate(self._schedule)
         if self._verify:
             from ..analysis import verify_schedule
             self.analysis = verify_schedule(self._schedule,
@@ -204,6 +230,7 @@ class Operator:
         self._flops_per_point = p['flops_per_point']
         self._traffic_per_point = p['traffic_per_point']
         self.analysis = artifact.rehydrate_analysis(kernel=kernel)
+        self.certificate = artifact.rehydrate_certificate()
         if self.analysis is not None:
             # the verify gate was satisfied by the cached cold build;
             # this build paid (essentially) nothing for it
@@ -288,7 +315,7 @@ class Operator:
         from ..codegen.cgen import generate_c
         return generate_c(self.schedule, name=self.name,
                           profiling=self.profiler.level,
-                          sanitizer=self._sanitize)
+                          sanitizer=self._sanitize is True)
 
     def analyze(self):
         """Run the static verifier over this operator's schedule.
@@ -422,9 +449,15 @@ class Operator:
         stash = {}  # exchanger deltas accumulated over failed attempts
         prepared = False
         tic = _time.perf_counter()
+        reconcile = self._sanitize == 'reconcile' and controller is None
+        ledger_before = None
         while True:
             before = {key: ex.counters()
                       for key, ex in self.kernel.exchangers.items()}
+            if reconcile:
+                w = getattr(comm, 'world', None)
+                if w is not None and w.commlog.enabled:
+                    ledger_before = w.commlog.sends_snapshot(src=comm.rank)
             try:
                 if controller is not None:
                     controller.bind(comm, start, time_M)
@@ -456,6 +489,15 @@ class Operator:
             # halo waits drained, profiling collective not yet started)
             # a user-tagged leftover in our mailbox is an unmatched send
             world.commlog.validate(world, comm.rank)
+        if reconcile and ledger_before is not None \
+                and self.certificate is not None:
+            # reconcile sanitizer mode: the per-run send-ledger delta
+            # must match the static certificate message for message
+            after_snap = world.commlog.sends_snapshot(src=comm.rank)
+            delta = world.commlog.sends_delta(ledger_before, after_snap)
+            actual = {(dst, tag): v for (_, dst, tag), v in delta.items()}
+            self.certificate.reconcile(actual,
+                                       max(time_M - time_m + 1, 0))
         deltas = self._accumulate_deltas(stash, before)
         points = int(np.prod(self.grid.shape))
         timesteps = max(time_M - time_m + 1, 0)

@@ -126,6 +126,40 @@ class CommLog:
             self._sends.clear()
             self._recvs.clear()
 
+    def sends_snapshot(self, src=None, user_only=True):
+        """Immutable view of the send ledger: ``{(src, dst, tag): (count,
+        bytes)}``.
+
+        This is the comparison surface of the static
+        :class:`~repro.analysis.certificate.CommCertificate` (the
+        ``reconcile`` sanitizer mode): snapshot before and after an
+        ``apply``, diff with :meth:`sends_delta`, and the result is the
+        exact per-(destination, tag) traffic the transport recorded for
+        the run.  ``src`` filters to one sender; ``user_only`` (default)
+        drops the negative-tag out-of-band traffic (collectives,
+        recovery control messages).
+        """
+        with self._lock:
+            out = {}
+            for (s, d, tag), (count, nbytes, _) in self._sends.items():
+                if src is not None and s != src:
+                    continue
+                if user_only and tag < 0:
+                    continue
+                out[(s, d, tag)] = (count, nbytes)
+            return out
+
+    @staticmethod
+    def sends_delta(before, after):
+        """Per-key (count, bytes) difference of two send snapshots,
+        zero entries removed — the traffic recorded between the two."""
+        out = {}
+        for key, (count, nbytes) in after.items():
+            c0, b0 = before.get(key, (0, 0))
+            if count - c0 or nbytes - b0:
+                out[key] = (count - c0, nbytes - b0)
+        return out
+
     def unmatched(self):
         """(src, dst, tag, outstanding, section) with sends > recvs."""
         with self._lock:

@@ -94,11 +94,14 @@ class Configuration(MutableMapping):
                         '(repro.analysis)'))
         self.register(Parameter(
             'sanitizer', default=False, env='REPRO_SANITIZER',
-            converter=_as_bool,
-            description='poisoned-halo sanitizer: generated kernels '
-                        'NaN-poison neighbor-owned ghost cells each '
-                        'iteration and scan written domains, catching '
-                        'unrefreshed-halo reads at runtime'))
+            converter=self._convert_sanitizer,
+            description='runtime sanitizer mode: boolean-like or '
+                        '\'poison\' enables the poisoned-halo sanitizer '
+                        '(kernels NaN-poison neighbor-owned ghost cells '
+                        'each iteration and scan written domains); '
+                        '\'reconcile\' checks the static communication '
+                        'certificate against the commlog send ledger '
+                        'after every apply'))
         self.register(Parameter(
             'profiling', default='basic', env='REPRO_PROFILING',
             accepted=PROFILING_LEVELS,
@@ -248,6 +251,18 @@ class Configuration(MutableMapping):
         # boolean-like, or the string 'verify' (optimize + static gate)
         if isinstance(value, str) and value.strip().lower() == 'verify':
             return 'verify'
+        return _as_bool(value)
+
+    @staticmethod
+    def _convert_sanitizer(value):
+        # boolean-like (True = the poisoned-halo mode, kept for
+        # backward compatibility), or a mode string
+        if isinstance(value, str):
+            low = value.strip().lower()
+            if low == 'reconcile':
+                return 'reconcile'
+            if low == 'poison':
+                return True
         return _as_bool(value)
 
     @staticmethod

@@ -16,13 +16,21 @@ Three claims are exercised:
    remaining bit-identical to the un-instrumented run on correct code.
 """
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import Eq, Grid, Operator, TimeFunction, configuration, solve
-from repro.analysis import (AnalysisError, CODES, HaloPoisonError,
-                            analyze_schedule, describe_key, format_widths,
-                            verify_schedule)
+from repro.analysis import (ANALYSIS_VERSION, AnalysisError, AnalysisReport,
+                            CODES, CertificateEntry, CommCertificate,
+                            Diagnostic, HaloPoisonError, ReconcileError,
+                            access_maps, analyze_schedule, build_certificate,
+                            covers, declared_widths, dependence_distances,
+                            describe_key, format_widths, infer_min_widths,
+                            merge_reports, render_merged, verify_schedule)
 from repro.ir.clusters import HaloRequirement
 from repro.mpi import run_parallel
 from repro.mpi.commlog import TagCollisionError, check_tag_spaces
@@ -355,3 +363,402 @@ class TestCLI:
         out = capsys.readouterr().out
         assert 'sanitizer' in out
         assert 'IDENTICAL' in out
+
+    def test_benchmark_reconcile_flag(self, capsys):
+        from repro.cli import run_benchmark
+        run_benchmark('acoustic', [41, 41], 30.0, 4, nbl=4, ranks=2,
+                      sanitize='reconcile', verify=True)
+        out = capsys.readouterr().out
+        assert 'reconcile' in out
+        assert 'IDENTICAL' in out
+
+    def test_analyze_certificate_flag(self, capsys):
+        from repro.cli import main
+        main(['analyze', 'acoustic', '-d', '41', '41', '-so', '4',
+              '--ranks', '2', '--mpi', 'diagonal', '--certificate'])
+        out = capsys.readouterr().out
+        assert 'CommCertificate' in out
+        assert 'predicted totals' in out
+
+    def test_analyze_json_schema_roundtrip(self, capsys):
+        from repro.cli import main
+        main(['analyze', 'acoustic', '-d', '41', '41', '-so', '4',
+              '--ranks', '2', '--mpi', 'basic', '--format', 'json'])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload['schema'] == 1
+        assert payload['kernel'] == 'acoustic'
+        assert payload['ranks'] == 2
+        assert payload['clean'] is True
+        assert payload['errors'] == 0
+        # diagnostics round-trip through the documented payload form
+        for dp in payload['diagnostics']:
+            d = Diagnostic.from_payload(dp)
+            assert d.to_payload() == {k: v for k, v in dp.items()
+                                      if k != 'ranks'}
+        # certificates round-trip into live CommCertificate objects
+        assert len(payload['certificates']) == 2
+        for cp in payload['certificates']:
+            cert = CommCertificate.from_payload(cp)
+            assert cert.entries
+            assert cert.to_payload() == cp
+        # inferred minimal widths: one mapping per rank, keyed u[t]-style
+        assert len(payload['inferred_widths']) == 2
+        assert any(payload['inferred_widths'][0])
+
+    def test_analyze_verbose_appends_per_rank_reports(self, capsys):
+        from repro.cli import main
+        main(['analyze', 'acoustic', '-d', '41', '41', '-so', '4',
+              '--ranks', '2', '--mpi', 'basic', '--verbose'])
+        out = capsys.readouterr().out
+        assert '--- rank 0 ---' in out
+        assert '--- rank 1 ---' in out
+
+
+# -- the affine dataflow engine ------------------------------------------------------
+
+
+class TestDataflowEngine:
+    def test_access_maps_hull(self):
+        op, _ = _diffusion_op(so=4)
+        maps = [m for m in access_maps(op.schedule)
+                if m.key == ('u', 0) and m.reads is not None]
+        assert maps
+        # the so=4 Laplacian reads +/-2 along both space dimensions
+        hull = maps[0].reads
+        assert hull == ((-2, 2), (-2, 2))
+
+    def test_dependence_distances(self):
+        op, _ = _diffusion_op(so=4)
+        dd = dependence_distances(op.schedule)
+        assert 'u' in dd
+        # write u[t+1] at 0 -> read u[t] at offsets: time distance -1
+        assert all(len(v) == 3 for v in dd['u'])
+        assert any(v[0] == -1 for v in dd['u'])
+
+    def test_inferred_widths_match_stencil_reach(self):
+        def build(comm):
+            op, _ = _diffusion_op(comm, mpi='basic', so=4)
+            return infer_min_widths(op.schedule), op.schedule
+        (inferred, schedule), _ = run_parallel(build, 2)
+        dist = schedule.grid.distributor
+        # depth 2 along distributed dims, 0 along serial ones
+        expect = tuple((2, 2) if dist.is_distributed(d) else (0, 0)
+                       for d in range(2))
+        assert inferred[('u', 0)] == expect
+
+    def test_shipped_schedules_are_minimal(self):
+        # the scheduler derives widths from the same footprints, so the
+        # declared exchanges must exactly cover the inferred minimum
+        def build(comm):
+            op, _ = _diffusion_op(comm, mpi='diagonal', so=8)
+            return (infer_min_widths(op.schedule),
+                    declared_widths(op.schedule))
+        for inferred, declared in run_parallel(build, 2):
+            for key, need in inferred.items():
+                assert covers(declared.get(key), need), key
+
+    def test_overwide_exchange_is_W203(self):
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        op = ops[0]
+        for step in op.schedule.steps:
+            if not step.is_halo:
+                continue
+            step.exchanges = [
+                HaloRequirement(req.function, req.time_shift,
+                                [(l + 2, r + 2) for l, r in req.widths])
+                for req in step.exchanges]
+        report = analyze_schedule(op.schedule)
+        assert 'REPRO-W203' in report.codes
+        diag = report.by_code('REPRO-W203')[0]
+        assert 'wasted byte' in diag.message
+        assert 'inferred minimal halo' in diag.message
+        # over-wide is wasteful, never wrong: no error-severity finding
+        assert not report.errors
+
+    def test_oracle_disagreement_is_E122(self, monkeypatch):
+        import repro.analysis.dataflow as dataflow
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        op = ops[0]
+        # no natural input can make the two oracles disagree (they share
+        # the access parser), so fake the inference deriving a need the
+        # scheduled exchanges cannot cover while the lattice stays clean
+        monkeypatch.setattr(
+            dataflow, 'infer_min_widths',
+            lambda schedule: {('u', 0): ((9, 9), (9, 9))})
+        diagnostics = dataflow.check_dataflow(op.schedule)
+        codes = [d.code for d in diagnostics]
+        assert 'REPRO-E122' in codes
+        [diag] = [d for d in diagnostics if d.code == 'REPRO-E122']
+        assert diag.where == 'cross-check'
+        assert 'contradict' in diag.message
+
+    def test_undersized_allocation_is_E123(self):
+        op, u = _diffusion_op(so=4)
+        # shrink the allocated halo under the stencil reach: the +/-2
+        # reads can no longer be proven inside the padded extents
+        u.space_order = 1
+        report = analyze_schedule(op.schedule)
+        assert 'REPRO-E123' in report.codes
+        diag = report.by_code('REPRO-E123')[0]
+        assert 'cannot prove' in diag.message
+
+    def test_clean_op_has_no_dataflow_findings(self):
+        def build(comm):
+            return _dist_op(comm, mode='full').analyze()
+        for report in run_parallel(build, 2):
+            assert not report.diagnostics, report.render()
+
+
+# -- static communication certificates -----------------------------------------------
+
+
+class TestCertificates:
+    @pytest.mark.parametrize('mode', MODES)
+    def test_certificate_matches_kernel_exchangers(self, mode):
+        def build(comm):
+            op = _dist_op(comm, mode=mode)
+            cert = op.certificate
+            assert sorted(e.key for e in cert.entries) \
+                == sorted(op.kernel.exchangers)
+            for entry in cert.entries:
+                lo, hi = op.kernel.exchangers[entry.key].tag_range
+                assert all(lo <= tag <= hi
+                           for _, tag, _ in entry.messages), entry
+            return cert
+        certs = run_parallel(build, 2)
+        assert all(c.mode == mode for c in certs)
+
+    def test_certificate_payload_roundtrip(self):
+        def build(comm):
+            return _dist_op(comm, mode='diagonal').certificate
+        for cert in run_parallel(build, 2):
+            # through JSON, as the artifact disk tier stores it
+            payload = json.loads(json.dumps(cert.to_payload()))
+            assert CommCertificate.from_payload(payload) == cert
+
+    def test_serial_certificate_is_empty(self):
+        op, _ = _diffusion_op()
+        cert = build_certificate(op.schedule)
+        assert cert.mode is None
+        assert cert.entries == ()
+        assert cert.predict(10) == {}
+
+    def test_predict_scales_with_timesteps(self):
+        def build(comm):
+            return _dist_op(comm).certificate
+        cert = run_parallel(build, 2)[0]
+        one = cert.predict(1)
+        five = cert.predict(5)
+        assert set(one) == set(five)
+        for key, (count, nbytes) in one.items():
+            assert five[key] == (count * 5, nbytes * 5)
+
+    def test_artifact_roundtrips_certificate(self):
+        from repro.codegen.artifact import KernelArtifact
+
+        def build(comm):
+            op = _dist_op(comm)
+            art = KernelArtifact.extract(op)
+            payload = json.loads(json.dumps(art.to_payload()))
+            rehydrated = KernelArtifact.from_payload(payload) \
+                .rehydrate_certificate()
+            assert rehydrated == op.certificate
+            return True
+        assert all(run_parallel(build, 2))
+
+    @pytest.mark.parametrize('mode', MODES)
+    def test_reconcile_clean_apply_passes(self, mode):
+        def run(comm):
+            op, u = _diffusion_op(comm, mpi=mode, sanitizer='reconcile')
+            u.data[0] = 1.0
+            op.apply(time_M=4, dt=0.02)
+            return op.certificate
+        certs = run_parallel(run, 2)
+        assert all(c is not None and c.mode == mode for c in certs)
+
+    def test_reconcile_mismatch_raises(self):
+        def run(comm):
+            op, u = _diffusion_op(comm, mpi='basic',
+                                  sanitizer='reconcile')
+            # tamper: the certificate now predicts one byte more per
+            # message than the kernel will ever send
+            entries = tuple(
+                CertificateEntry(e.key, e.scope,
+                                 tuple((d, t, b + 1)
+                                       for d, t, b in e.messages))
+                for e in op.certificate.entries)
+            op.certificate = CommCertificate(
+                op.certificate.rank, op.certificate.mode, entries)
+            op.apply(time_M=3, dt=0.02)
+        with pytest.raises(ReconcileError) as err:
+            run_parallel(run, 2)
+        assert 'ledger recorded' in str(err.value)
+
+    def test_configuration_reconcile_mode(self):
+        saved = configuration['sanitizer']
+        try:
+            configuration['sanitizer'] = 'reconcile'
+            assert configuration['sanitizer'] == 'reconcile'
+            configuration['sanitizer'] = 'poison'
+            assert configuration['sanitizer'] is True
+        finally:
+            configuration['sanitizer'] = saved
+
+    def test_fingerprint_tracks_analysis_version(self, monkeypatch):
+        import repro.buildcache.fingerprint as fp
+        grid = Grid(shape=(8, 8), extent=(7., 7.))
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        eqs = [Eq(u.forward, u.laplace * 0.1)]
+        kw = dict(mpi_mode=None, opt=True, verify=False,
+                  sanitizer=False, instrument=False, progress=False)
+        base, _ = fp.fingerprint_build(eqs, **kw)
+        # the sanitizer token is mode-aware: off / poison / reconcile
+        # are three different cache keys
+        poison, _ = fp.fingerprint_build(eqs, **dict(kw, sanitizer=True))
+        rec, _ = fp.fingerprint_build(eqs,
+                                      **dict(kw, sanitizer='reconcile'))
+        assert len({base, poison, rec}) == 3
+        # bumping the verifier version invalidates every cached artifact
+        monkeypatch.setattr(fp, 'ANALYSIS_VERSION', ANALYSIS_VERSION + 1)
+        bumped, _ = fp.fingerprint_build(eqs, **kw)
+        assert bumped != base
+
+
+# -- the full propagator x SDO x mode matrix (analysis + reconciled apply) -----------
+
+
+class TestDataflowMatrix:
+    @pytest.mark.parametrize('model', sorted(SETUPS))
+    @pytest.mark.parametrize('so', [4, 8, 12])
+    @pytest.mark.parametrize('mode', MODES)
+    def test_inference_certificate_and_proof(self, model, so, mode):
+        setup = SETUPS[model]
+        saved = configuration['sanitizer']
+        configuration['sanitizer'] = 'reconcile'
+        try:
+            def build(comm):
+                solver, _ = setup(shape=(36, 36), spacing=(10., 10.),
+                                  tn=30.0, space_order=so, nbl=4,
+                                  comm=comm, mpi=mode, nrec=4)
+                op = solver.op
+                report = analyze_schedule(op.schedule)
+                inferred = infer_min_widths(op.schedule)
+                declared = declared_widths(op.schedule)
+                minimal = all(covers(declared.get(k), need)
+                              for k, need in inferred.items())
+                # the forward run reconciles the commlog ledger against
+                # the certificate after apply (raises on any mismatch)
+                solver.forward()
+                return report, minimal, op.certificate
+            for rank, (report, minimal, cert) in \
+                    enumerate(run_parallel(build, 2)):
+                # zero REPRO-E: in-bounds proof + inference both clean
+                assert not report.errors, (rank, report.render())
+                # inferred minimal widths never exceed the declared ones
+                assert minimal, rank
+                assert cert is not None and cert.entries, rank
+        finally:
+            configuration['sanitizer'] = saved
+
+
+# -- cross-rank merged reporting -----------------------------------------------------
+
+
+class TestMergedReports:
+    def test_identical_findings_collapse(self):
+        d = Diagnostic('REPRO-W201', 'same everywhere', step_index=1)
+        reports = [AnalysisReport(diagnostics=[d]),
+                   AnalysisReport(diagnostics=[
+                       Diagnostic('REPRO-W201', 'same everywhere',
+                                  step_index=1),
+                       Diagnostic('REPRO-W202', 'only here')])]
+        merged = merge_reports(reports)
+        assert len(merged) == 2
+        assert merged[0][1] == [0, 1]
+        assert merged[1][1] == [1]
+        text = render_merged(reports)
+        assert '[all ranks]' in text
+        assert '[rank 1]' in text
+        assert text.count('same everywhere') == 1
+
+    def test_real_mutation_dedupes_across_ranks(self):
+        ops = run_parallel(lambda c: _dist_op(c), 2)
+        reports = []
+        for op in ops:
+            op.schedule.steps = [s for s in op.schedule.steps
+                                 if not s.is_halo]
+            reports.append(analyze_schedule(op.schedule))
+        merged = merge_reports(reports)
+        assert any(d.code == 'REPRO-E101' for d, _ in merged)
+        # the 2-rank diffusion decomposition is symmetric: the findings
+        # are rank-identical and must collapse to single lines
+        assert any(ranks == [0, 1] for _, ranks in merged)
+        assert len(merged) < sum(len(r.diagnostics) for r in reports)
+
+    def test_verbose_appends_per_rank_sections(self):
+        reports = [AnalysisReport(), AnalysisReport(diagnostics=[
+            Diagnostic('REPRO-W211', 'tmp unused')])]
+        text = render_merged(reports, verbose=True)
+        assert '--- rank 0 ---' in text
+        assert '--- rank 1 ---' in text
+
+    def test_clean_merge(self):
+        text = render_merged([AnalysisReport(), AnalysisReport()])
+        assert 'clean' in text
+        assert 'all ranks' in text
+
+
+# -- property-based: inference vs a brute-force off-rank-read simulation -------------
+
+
+class TestInferenceProperty:
+    @given(offsets=st.lists(st.tuples(st.integers(-3, 3),
+                                      st.integers(-3, 3)),
+                            min_size=1, max_size=4, unique=True),
+           so=st.sampled_from([4, 8]),
+           ranks=st.sampled_from([2, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_inferred_matches_bruteforce(self, offsets, so, ranks):
+        def build(comm, mode):
+            grid = Grid(shape=(16, 16), extent=(15., 15.), comm=comm)
+            u = TimeFunction(name='u', grid=grid, space_order=so)
+            t = u.time_dim
+            x, y = grid.dimensions
+            expr = u.indexed(t, x, y) * 0.0
+            for i, (ox, oy) in enumerate(offsets):
+                expr = expr + u.indexed(t, x + ox, y + oy) * float(i + 1)
+            op = Operator([Eq(u.forward, expr)], mpi=mode, opt=False)
+            dist = grid.distributor
+            inferred = infer_min_widths(op.schedule).get(
+                ('u', 0), ((0, 0), (0, 0)))
+            # brute force: walk every owned point and every stencil
+            # offset for one iteration and record how deep each read
+            # lands inside a neighbor's owned region
+            need = [[0, 0], [0, 0]]
+            for d in range(2):
+                dec = dist.decompositions[d]
+                start, stop = dec.local_range(dist.mycoords[d])
+                for off in {o[d] for o in offsets}:
+                    for i in range(start, stop):
+                        tgt = i + off
+                        if not 0 <= tgt < dec.npoints:
+                            continue  # boundary padding, never off-rank
+                        if tgt < start:
+                            need[d][0] = max(need[d][0], start - tgt)
+                        elif tgt >= stop:
+                            need[d][1] = max(need[d][1], tgt - stop + 1)
+            return inferred, tuple((l, r) for l, r in need)
+
+        for mode in MODES:
+            results = run_parallel(lambda c: build(c, mode), ranks)
+            inferred0 = results[0][0]
+            # the inference is schedule- and mode-independent
+            assert all(inf == inferred0 for inf, _ in results)
+            # sufficient: every rank's simulated need is covered ...
+            for inf, need in results:
+                assert covers(inf, need)
+            # ... and minimal: it equals the max need over the ranks
+            for d in range(2):
+                for side in range(2):
+                    worst = max(need[d][side] for _, need in results)
+                    assert inferred0[d][side] == worst
