@@ -1,14 +1,29 @@
 """Real-execution throughput of the four generated kernels (this
-machine, NumPy backend, serial) — the laptop-scale counterpart of the
-paper's single-node measurements, via pytest-benchmark.
+machine, serial) — the laptop-scale counterpart of the paper's
+single-node measurements, via pytest-benchmark.
 
 These measure the *actual* JIT-generated kernels end to end (halo
 machinery included at 1 rank), reporting GPts/s per kernel and SDO.
+
+The NumPy-vs-compiled section compares the two execution backends on
+the same operators and feeds the CI ``exec`` job: run as a module to
+(re)generate the ``BENCH_exec.json`` trajectory artifact::
+
+    PYTHONPATH=src python benchmarks/bench_execution.py \\
+        [-o BENCH_exec.json]
+
+The regression gate (:mod:`tools.check_bench_regression`) compares the
+*speedup* metrics (compiled over NumPy, machine-normalized ratios)
+against the committed ``BENCH_exec_baseline.json``; absolute GPts/s
+live in the per-case records for trend plots only.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro import configuration
 from repro.models import (acoustic_setup, elastic_setup, tti_setup,
                           viscoelastic_setup)
 
@@ -72,3 +87,127 @@ def test_relative_cost_ordering(benchmark):
     assert times['elastic'] > 2.0 * times['acoustic']
     assert times['viscoelastic'] > 2.0 * times['acoustic']
     assert times['tti'] > times['acoustic']
+
+
+# -- NumPy vs compiled backend (the CI exec gate) -----------------------------
+
+#: timed apply repetitions per backend (best-of, sheds scheduler noise)
+EXEC_REPEAT = 3
+
+#: grid large enough that per-timestep Python driver overhead (halo
+#: steps, source injection, profiling) stops dominating; at this size
+#: the compiled backend's cache-blocked nests pull well clear of the
+#: vectorized-NumPy temporaries
+EXEC_CASES = {
+    'acoustic_so8': dict(setup_name='acoustic', shape=(384, 384), so=8),
+    'acoustic_so4': dict(setup_name='acoustic', shape=(384, 384), so=4),
+}
+
+EXEC_STEPS = 20
+
+
+def _backend_throughput(setup_name, shape, so, backend,
+                        steps=EXEC_STEPS):
+    """(GPts/s best-of, effective backend, final wavefield bits)."""
+    saved_backend = configuration['backend']
+    saved_cache = configuration['build_cache']
+    configuration['backend'] = backend
+    configuration['build_cache'] = 'off'
+    try:
+        solver, _ = SETUPS[setup_name](shape=shape, tn=1000.0,
+                                       space_order=so, nbl=10, nrec=8)
+        op = solver.op  # build outside the timed region
+        dt = solver.model.critical_dt
+        op.apply(time_m=0, time_M=steps - 1, dt=dt)  # warm
+        best = float('inf')
+        for _ in range(EXEC_REPEAT):
+            tic = time.perf_counter()
+            _, wf, _ = solver.forward(time_M=steps - 1, dt=dt)
+            best = min(best, time.perf_counter() - tic)
+        points = int(np.prod(solver.model.grid.shape)) * steps
+        field = wf.data.gather() if hasattr(wf, 'data') \
+            else wf[0].data.gather()
+        return points / best / 1e9, op.backend, field
+    finally:
+        configuration['backend'] = saved_backend
+        configuration['build_cache'] = saved_cache
+
+
+def _toolchain_available():
+    from repro.codegen import jit
+    return jit.find_compiler() is not None
+
+
+def _measure_exec_case(setup_name, shape, so):
+    gpts_np, bk_np, field_np = _backend_throughput(setup_name, shape,
+                                                   so, 'numpy')
+    gpts_c, bk_c, field_c = _backend_throughput(setup_name, shape, so,
+                                                'c')
+    assert bk_np == 'numpy' and bk_c == 'c'
+    # both backends perform identical IEEE operations per point
+    assert np.array_equal(field_np, field_c)
+    return {
+        'gptss_numpy': gpts_np,
+        'gptss_c': gpts_c,
+        'speedup_c': gpts_c / gpts_np,
+    }
+
+
+@pytest.mark.skipif(not _toolchain_available(),
+                    reason='no C toolchain on this host')
+def test_compiled_beats_numpy_acoustic_so8(benchmark):
+    """The headline acceptance bar: compiled >= 3x NumPy GPts/s on the
+    acoustic SDO-8 propagator (and bitwise-identical wavefields)."""
+    r = _measure_exec_case(**EXEC_CASES['acoustic_so8'])
+
+    def work():
+        return r
+
+    benchmark.pedantic(work, iterations=1, rounds=1)
+    print('\nacoustic so-8: numpy %.4f GPts/s, compiled %.4f GPts/s '
+          '(%.2fx)' % (r['gptss_numpy'], r['gptss_c'], r['speedup_c']))
+    assert r['speedup_c'] >= 3.0
+
+
+def collect():
+    """All backend-comparison cases -> the BENCH_exec.json payload."""
+    cases = {name: _measure_exec_case(**spec)
+             for name, spec in sorted(EXEC_CASES.items())}
+    metrics = {}
+    for name, r in cases.items():
+        metrics['%s_speedup_c' % name] = round(r['speedup_c'], 3)
+    metrics['speedup_c_min'] = round(
+        min(r['speedup_c'] for r in cases.values()), 3)
+    return {
+        'benchmark': 'bench_execution',
+        'repeat': EXEC_REPEAT,
+        'steps': EXEC_STEPS,
+        'cases': {name: {k: round(v, 4) for k, v in r.items()}
+                  for name, r in cases.items()},
+        'metrics': metrics,
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description='Compare NumPy vs compiled-backend execution '
+                    'throughput and write the BENCH_exec.json '
+                    'trajectory artifact.')
+    parser.add_argument('-o', '--output', default='BENCH_exec.json')
+    args = parser.parse_args(argv)
+    if not _toolchain_available():
+        raise SystemExit('no C toolchain found: the exec benchmark '
+                         'needs one (run `repro doctor`)')
+    payload = collect()
+    from repro.ioutil import atomic_write_json
+    atomic_write_json(args.output, payload)
+    print(json.dumps(payload, indent=2))
+    print('wrote %s' % args.output)
+    return payload
+
+
+if __name__ == '__main__':
+    main()

@@ -143,6 +143,7 @@ class BuildCache:
         if self.disk_enabled:
             try:
                 payload = artifact.to_payload()
+                self._persist_shared_object(key, payload)
                 entry = {'fingerprint': key,
                          'checksum': _payload_checksum(payload),
                          'payload': payload}
@@ -153,6 +154,29 @@ class BuildCache:
                 with self._lock:
                     self.stats['errors'] += 1
         self._ensure_atexit()
+
+    def _persist_shared_object(self, key, payload):
+        """Copy a compiled backend's .so beside the JSON entry.
+
+        The cold build leaves the object in a per-process scratch
+        directory that dies with the process; a disk entry must point at
+        something durable.  The payload's ``so_path`` is rewritten *in
+        place* (before the entry checksum is computed), so the shared
+        memory-tier artifact also outlives the scratch directory.
+        """
+        src = payload.get('so_path')
+        if payload.get('backend') != 'c' or not src:
+            return
+        so_dir = os.path.join(self.directory, 'so')
+        dst = os.path.join(so_dir, '%s.so' % key)
+        if not os.path.isfile(dst):
+            import shutil
+            os.makedirs(so_dir, exist_ok=True)
+            tmp = '%s.tmp%d.%d' % (dst, os.getpid(),
+                                   threading.get_ident())
+            shutil.copyfile(src, tmp)
+            os.replace(tmp, dst)
+        payload['so_path'] = dst
 
     # -- accounting ------------------------------------------------------------------
 
@@ -321,6 +345,20 @@ def clear_disk(directory):
             os.rmdir(os.path.dirname(path))
         except OSError:
             pass  # not empty / already gone
+    so_dir = os.path.join(os.fspath(directory), 'so')
+    try:
+        names = os.listdir(so_dir)
+    except OSError:
+        names = []
+    for name in names:
+        try:
+            os.unlink(os.path.join(so_dir, name))
+        except OSError:
+            pass
+    try:
+        os.rmdir(so_dir)
+    except OSError:
+        pass
     try:
         os.unlink(os.path.join(os.fspath(directory), 'stats.json'))
     except OSError:

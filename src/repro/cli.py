@@ -44,7 +44,8 @@ import numpy as np
 from .mpi.faults import RankKilledError
 
 __all__ = ['main', 'run_analyze', 'run_benchmark', 'run_cache',
-           'run_fetch', 'run_serve', 'run_status', 'run_submit']
+           'run_doctor', 'run_fetch', 'run_serve', 'run_status',
+           'run_submit']
 
 _SETUPS = None
 
@@ -166,6 +167,33 @@ def _parser():
     p.add_argument('--cache-dir', default=None, metavar='PATH',
                    help='directory of the on-disk build-cache tier '
                         '(default .repro_cache or REPRO_CACHE_DIR)')
+    p.add_argument('--backend', choices=['numpy', 'c'], default=None,
+                   help='execution backend for compute steps: numpy '
+                        '(vectorized whole-array expressions) or c '
+                        '(compile generated C and run cache-blocked '
+                        'loop nests via ctypes; falls back to numpy '
+                        'with a warning when no toolchain is found). '
+                        'Default: configuration, i.e. REPRO_BACKEND '
+                        'or numpy')
+    return p
+
+
+def _doctor_parser():
+    p = argparse.ArgumentParser(
+        prog='python -m repro.cli doctor',
+        description='Diagnose the execution environment: C toolchain '
+                    'discovery ($CC, then cc/gcc/clang), a smoke '
+                    'compile+dlopen round trip, cffi availability, '
+                    'build-cache directory health, and which backend '
+                    'an Operator build would select right now.')
+    p.add_argument('--require-c', action='store_true',
+                   help='exit nonzero unless the compiled backend is '
+                        'usable end-to-end (the CI exec-job gate)')
+    p.add_argument('--cache-dir', default=None, metavar='PATH',
+                   help='build-cache directory to inspect (default: '
+                        'configuration cache_dir)')
+    p.add_argument('--json', action='store_true',
+                   help='machine-readable JSON output')
     return p
 
 
@@ -354,7 +382,7 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
                   health_check_every=None, sanitize=False,
                   dump_schedule=False, cache=None, cache_dir=None,
                   repartition=None, repartition_every=None,
-                  repartition_weights=None):
+                  repartition_weights=None, backend=None):
     """Run one benchmark; returns (summary, gathered primary field)."""
     # resolve stdout at call time (pytest capture swaps sys.stdout)
     out = out if out is not None else sys.stdout
@@ -365,6 +393,12 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
         configuration['build_cache'] = cache
     if cache_dir is not None:
         configuration['cache_dir'] = cache_dir
+    saved_backend = configuration['backend']
+    if backend is not None:
+        configuration['backend'] = backend
+        if backend == 'c':
+            print('backend         : compiled C (cache-blocked loop '
+                  'nests via ctypes)', file=out)
     saved_sanitizer = configuration['sanitizer']
     if sanitize:
         if sanitize == 'reconcile':
@@ -466,6 +500,7 @@ def run_benchmark(kernel, shape, tn, space_order, nbl=10, mpi='basic',
     finally:
         configuration['faults'] = saved_faults
         configuration['sanitizer'] = saved_sanitizer
+        configuration['backend'] = saved_backend
         configuration['build_cache'] = saved_cache
         configuration['cache_dir'] = saved_cache_dir
         for k, v in saved_cfg.items():
@@ -682,6 +717,82 @@ def run_cache(action, cache_dir=None, min_hits=None, as_json=False,
     return 0
 
 
+def run_doctor(require_c=False, cache_dir=None, as_json=False, out=None):
+    """The ``doctor`` subcommand: diagnose the execution environment.
+
+    Reports the discovered C toolchain (with a smoke compile+dlopen
+    round trip), cffi availability, build-cache directory health and
+    the backend an Operator build would select right now.  Returns a
+    process exit status; ``require_c=True`` makes a missing/broken
+    toolchain fatal (the first step of the CI exec job).
+    """
+    import json as _json
+    import os
+
+    out = out if out is not None else sys.stdout
+    from . import configuration
+    from .buildcache import disk_usage, read_disk_stats
+    from .codegen import jit
+
+    report = jit.toolchain_report()
+    report['backend_requested'] = configuration['backend']
+    report['backend_effective'] = jit.resolve_backend(
+        configuration['backend'], warn=False)
+    directory = os.path.abspath(cache_dir if cache_dir is not None
+                                else configuration['cache_dir'])
+    nentries, nbytes = disk_usage(directory)
+    stats = read_disk_stats(directory)
+    report['cache'] = {
+        'directory': directory,
+        'exists': os.path.isdir(directory),
+        'writable': os.access(directory if os.path.isdir(directory)
+                              else os.path.dirname(directory) or '.',
+                              os.W_OK),
+        'entries': nentries,
+        'disk_bytes': nbytes,
+        'errors': stats['errors'],
+        'mode': configuration['build_cache'],
+    }
+    ok = report['backend_c_usable']
+    if as_json:
+        print(_json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print('repro doctor', file=out)
+        print('  CC (env)        : %s'
+              % (report['cc_env'] or '<unset>'), file=out)
+        print('  compiler        : %s'
+              % (report['compiler'] or 'NOT FOUND'), file=out)
+        if report['compiler_version']:
+            print('  version         : %s' % report['compiler_version'],
+                  file=out)
+        print('  smoke compile   : %s' % (report['smoke'] or 'skipped'),
+              file=out)
+        print('  cffi            : %s'
+              % ('available' if report['cffi'] else 'not installed '
+                 '(fine; ctypes is used)'), file=out)
+        cache = report['cache']
+        print('  build cache     : %s (%s, %d entr%s, %d bytes'
+              ', %d error%s)'
+              % (cache['directory'], cache['mode'], cache['entries'],
+                 'y' if cache['entries'] == 1 else 'ies',
+                 cache['disk_bytes'], cache['errors'],
+                 '' if cache['errors'] == 1 else 's'), file=out)
+        if cache['exists'] and not cache['writable']:
+            print('  WARNING         : cache directory is not writable',
+                  file=out)
+        print('  backend         : requested %r -> effective %r'
+              % (report['backend_requested'],
+                 report['backend_effective']), file=out)
+        print('  compiled backend: %s'
+              % ('usable' if ok else 'UNAVAILABLE (builds fall back '
+                 'to numpy)'), file=out)
+    if require_c and not ok:
+        print('FAIL: --require-c set but the compiled backend is not '
+              'usable', file=out)
+        return 1
+    return 0
+
+
 def _service_dir(service_dir):
     import os
 
@@ -883,6 +994,13 @@ def main(argv=None):
         if status:
             raise SystemExit(status)
         return
+    if argv and argv[0] == 'doctor':
+        args = _doctor_parser().parse_args(argv[1:])
+        status = run_doctor(require_c=args.require_c,
+                            cache_dir=args.cache_dir, as_json=args.json)
+        if status:
+            raise SystemExit(status)
+        return
     if argv and argv[0] == 'cache':
         args = _cache_parser().parse_args(argv[1:])
         status = run_cache(args.action, cache_dir=args.cache_dir,
@@ -931,7 +1049,8 @@ def main(argv=None):
                   cache=args.cache, cache_dir=args.cache_dir,
                   repartition=args.repartition_policy,
                   repartition_every=args.repartition_every,
-                  repartition_weights=args.repartition_weights)
+                  repartition_weights=args.repartition_weights,
+                  backend=args.backend)
 
 
 if __name__ == '__main__':

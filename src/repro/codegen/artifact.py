@@ -37,14 +37,17 @@ __all__ = ['ARTIFACT_VERSION', 'ArtifactError', 'KernelArtifact']
 #: bump on any change to the payload layout below (old entries are then
 #: rejected by :meth:`KernelArtifact.from_payload` and rebuilt cold).
 #: 2: the static communication certificate joined the payload.
-ARTIFACT_VERSION = 2
+#: 3: the compiled execution backend joined the payload (backend,
+#:    C source, shared-object path + checksum, per-step call metadata).
+ARTIFACT_VERSION = 3
 
 _REQUIRED_KEYS = ('version', 'source', 'step_lines', 'sections',
                   'exchangers', 'mpi_mode', 'sanitizer_writes',
                   'functions', 'sparse_functions', 'sparse_steps',
                   'constants', 'uses_dt', 'flops_per_point',
                   'traffic_per_point', 'analysis', 'certificate',
-                  'build_seconds')
+                  'build_seconds', 'backend', 'c_source', 'so_path',
+                  'so_checksum', 'c_steps')
 
 
 class ArtifactError(RuntimeError):
@@ -86,6 +89,9 @@ class KernelArtifact:
         #: memoized compiled code object (in-process tier only; never
         #: serialized — marshal output is interpreter-version-bound)
         self._code = None
+        #: memoized dlopen handle of the compiled backend's .so (keeps
+        #: the mapping alive across rehydrations of one artifact)
+        self._lib = None
 
     # -- convenience accessors ---------------------------------------------------
 
@@ -162,6 +168,14 @@ class KernelArtifact:
             'analysis': analysis,
             'certificate': certificate,
             'build_seconds': float(build_seconds),
+            # compiled-backend products ('numpy' builds carry Nones).
+            # so_path is rewritten by the disk cache tier when it copies
+            # the object next to the JSON entry.
+            'backend': kernel.backend,
+            'c_source': kernel.c_source,
+            'so_path': kernel.so_path,
+            'so_checksum': kernel.so_checksum,
+            'c_steps': kernel.c_steps,
         }
         return cls(payload)
 
@@ -271,6 +285,31 @@ class KernelArtifact:
                 san.register_writes(section,
                                     [(name, tshift) for name, tshift in keys])
 
+        # compiled backend: re-attach the shared object.  The checksum
+        # is the tamper seal — a deleted, truncated or modified .so
+        # demotes the hit to a cold rebuild (never run stale or foreign
+        # code, never silently recompile under a 'hit' status).
+        backend = p.get('backend') or 'numpy'
+        c_funcs = None
+        if backend == 'c':
+            import os
+            from . import jit
+            so_path = p['so_path']
+            if not so_path or not os.path.isfile(so_path):
+                raise ArtifactError("compiled artifact's shared object "
+                                    "is missing: %r" % (so_path,))
+            if jit.file_checksum(so_path) != p['so_checksum']:
+                raise ArtifactError("compiled artifact's shared object "
+                                    "fails its checksum: %r" % (so_path,))
+            try:
+                self._lib, c_funcs = jit.load_steps(
+                    so_path,
+                    {m['name']: m['sig']
+                     for m in (p['c_steps'] or {}).values()},
+                    grid.dtype)
+            except jit.JITError as e:
+                raise ArtifactError(str(e)) from None
+
         # compile + exec the cached source (memoized per artifact object)
         source = p['source']
         if self._code is None:
@@ -278,6 +317,8 @@ class KernelArtifact:
         namespace = {}
         if san is not None:
             namespace['__SAN'] = san
+        if c_funcs is not None:
+            namespace['__C'] = c_funcs
         exec(self._code, namespace)  # noqa: S102 - the cached JIT artifact
         func = namespace.get('__kernel')
         if func is None:
@@ -287,7 +328,12 @@ class KernelArtifact:
                       for sid, a, b in p['step_lines']}
         return PyKernel(source, func, exchangers, sparse_plans,
                         schedule=None, profiler=profiler,
-                        step_lines=step_lines, sanitizer=san)
+                        step_lines=step_lines, sanitizer=san,
+                        backend=backend, c_source=p['c_source'],
+                        so_path=p['so_path'],
+                        so_checksum=p['so_checksum'],
+                        c_steps=p['c_steps'],
+                        lib=getattr(self, '_lib', None))
 
     def rehydrate_analysis(self, kernel=None):
         """Rebuild the cached verify-gate report (or None)."""

@@ -1,24 +1,33 @@
 """C code emission (the paper's generated-code surface, Listing 11).
 
-Produces the C a Devito-style backend would JIT-compile: access-aligned
-array indices (``u[t1][x + 2][y + 2]``), hoisted scalar temporaries,
-modulo time buffering in the loop header, OpenMP parallel/SIMD pragmas,
-and per-mode MPI halo-exchange callables (Isend/Irecv/Waitall schedules
-for *basic*/*diagonal*, overlapped begin/compute-CORE/wait/REMAINDER
-structure for *full*).
+Two emitters live here:
 
-This backend is a faithful *printer*: the executable twin is the NumPy
-backend; tests validate the C structurally.
+* :func:`generate_c` — the faithful *printer* of the full Devito-style
+  translation unit (OpenMP pragmas, pseudo-MPI halo callables); tests
+  validate it structurally, it is never compiled.
+* :func:`generate_c_steps` — the *executable* emitter behind
+  ``backend='c'``: one exported C function per compute step, with
+  compile-time-baked strides, halo offsets, per-rank iteration bounds
+  and cache-blocked loop nests (:func:`~repro.ir.schedule.plan_blocking`).
+  Halo exchanges, sparse scatter/gather, profiling, sanitizer and
+  resilience hooks stay in the Python driver — only the hot loops move
+  to C, so all three comm modes, certificates and fault machinery work
+  unchanged.  Arithmetic is printed with
+  :class:`~repro.symbolics.CExecPrinter`, which mirrors NumPy's
+  weak-scalar (NEP-50) promotion semantics so a compiled step can agree
+  with the NumPy backend bitwise.
 """
 
 from __future__ import annotations
 
+from ..ir.schedule import plan_blocking
 from ..mpi import core_region, remainder_regions
 from ..profiling import assign_section_names
-from ..symbolics import CPrinter, Indexed, Symbol, unique_nodes
+from ..symbolics import (CExecPrinter, CPrinter, Indexed, Symbol,
+                         unique_nodes)
 from .common import cluster_union_widths, function_nb
 
-__all__ = ['generate_c']
+__all__ = ['generate_c', 'generate_c_steps']
 
 _IND = '  '
 
@@ -395,3 +404,255 @@ def _emit_halo_callable(em, schedule, uid, req, kind):
         em.emit('/* unpack_halo(%s_vec, recvbufs, t); */' % fname)
         em.close_block()
         em.emit()
+
+
+# -- the executable emitter (backend='c') ----------------------------------------
+
+
+def _layout(func):
+    """Compile-time allocation layout of one function on this rank.
+
+    Returns ``(shape, strides)`` of the full local allocation (halo
+    included, leading time-buffer dimension for TimeFunctions) — must
+    match :class:`repro.mpi.data.Data` exactly, since the compiled step
+    indexes the NumPy buffer through a raw pointer.
+    """
+    dist = func.grid.distributor
+    shape = [int(dist.shape_local[d]) + hl + hr
+             for d, (hl, hr) in enumerate(func.halo)]
+    if getattr(func, 'is_TimeFunction', False):
+        shape = [function_nb(func)] + shape
+    strides = [1] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    return tuple(shape), tuple(strides)
+
+
+def _flat_index_printer(tvars, used_tvars):
+    """CExecPrinter index callback: flattened pointer arithmetic.
+
+    An access ``u[t+s, x+a, y+b]`` becomes
+    ``u[t1*S0 + (x + a + H)*S1 + (y + b + H)]`` with every stride and
+    halo offset folded to a literal; ``used_tvars`` collects the
+    ``(shift, nbuffers)`` pairs the step consumes (they become its
+    ``int`` arguments).
+    """
+    from ..ir.lowered import parse_index
+
+    def index_printer(printer, indexed):
+        func = indexed.base
+        _, strides = _layout(func)
+        sdims = list(func.space_dimensions)
+        halo = dict(zip(sdims, func.halo))
+        terms = []
+        const = 0
+        for dim, idx, stride in zip(func.dimensions, indexed.indices,
+                                    strides):
+            off = parse_index(idx, dim)
+            if dim.is_Time:
+                key = (off, function_nb(func))
+                used_tvars.add(key)
+                terms.append('%s*%d' % (tvars[key], stride))
+            else:
+                shift = off + halo[dim][0]
+                if stride == 1:
+                    terms.append(dim.name)
+                    const += shift
+                elif shift:
+                    terms.append('(%s + %d)*%d' % (dim.name, shift, stride))
+                else:
+                    terms.append('%s*%d' % (dim.name, stride))
+        if const:
+            terms.append('%d' % const)
+        return '%s[%s]' % (func.name, ' + '.join(terms))
+
+    return index_printer
+
+
+def _scalar_assignment_kinds(schedule):
+    """Runtime NumPy kind ('w' weak float / 's' strong np.float64) of
+    every hoisted scalar temporary, mirroring what the driver's Python
+    preamble actually produces (``np.*`` calls return np.float64)."""
+    from fractions import Fraction
+
+    from ..symbolics import AppliedFunction
+    from ..symbolics.expr import Float, Integer, Rational
+
+    kinds = {}
+
+    def kind_of(e):
+        if isinstance(e, AppliedFunction):
+            return 's'
+        if e.is_Pow:
+            exp = e.exp
+            if isinstance(exp, (Integer, Rational, Float)):
+                frac = Fraction(abs(exp.value))
+                if frac == Fraction(1, 2):
+                    return 's' if kind_of(e.base) != 's' else 's'
+                if frac.denominator == 1 and 1 <= frac.numerator <= 3:
+                    return kind_of(e.base)
+            return 's' if any(kind_of(a) == 's' for a in e.args) else 'w'
+        if e.is_Symbol:
+            return kinds.get(e.name, 'w')
+        if e.args:
+            return 's' if any(kind_of(a) == 's' for a in e.args) else 'w'
+        return 'w'
+
+    for temp, rhs in schedule.scalar_assignments:
+        kinds[temp.name] = kind_of(rhs)
+    return kinds
+
+
+def _free_scalars(expr, skip):
+    """Names of free scalar symbols of ``expr`` (array indices, which
+    only hold dimension symbols, are excluded)."""
+    out = set()
+    stack = [expr]
+    while stack:
+        e = stack.pop()
+        if e.is_Indexed or getattr(e, 'is_DiscreteFunction', False):
+            continue
+        if e.is_Symbol:
+            if e.name not in skip:
+                out.add(e.name)
+            continue
+        stack.extend(e.args)
+    return out
+
+
+def _step_boxes(step, dist):
+    """Compile-time iteration boxes of one compute step (same geometry
+    as the NumPy backend's ``_region_boxes``)."""
+    if step.region == 'domain':
+        return [tuple((0, int(n)) for n in dist.shape_local)]
+    widths = cluster_union_widths(step.cluster)
+    if step.region == 'core':
+        boxes = [core_region(dist, widths)]
+    else:
+        boxes = remainder_regions(dist, widths)
+    return [tuple((int(lo), int(hi)) for lo, hi in box)
+            for box in boxes if all(hi > lo for lo, hi in box)]
+
+
+def _emit_blocked_nest(em, dims, box, body):
+    """One (possibly cache-blocked) loop nest over ``box``."""
+    plan = plan_blocking(box)
+    closes = 0
+    for dim, (lo, hi), block in zip(dims, box, plan):
+        n = dim.name
+        if block is None:
+            em.open_block('for (int %s = %d; %s < %d; %s += 1)'
+                          % (n, lo, n, hi, n))
+            closes += 1
+        else:
+            em.open_block('for (int %sb = %d; %sb < %d; %sb += %d)'
+                          % (n, lo, n, hi, n, block))
+            em.emit('const int %se = %sb + %d < %d ? %sb + %d : %d;'
+                    % (n, n, block, hi, n, block, hi))
+            em.open_block('for (int %s = %sb; %s < %se; %s += 1)'
+                          % (n, n, n, n, n))
+            closes += 2
+    body()
+    for _ in range(closes):
+        em.close_block()
+
+
+def generate_c_steps(schedule, dtype=None):
+    """Emit the executable per-step C translation unit for ``schedule``.
+
+    Returns ``(source, steps)`` where ``steps`` maps a compute step's
+    schedule index to::
+
+        {'name': 'step<sid>',            # exported C symbol
+         'sig':  ['p3', 'd', 'i', ...],  # ctypes binding codes
+         'call': ['u', 'r0', '(time + 1) % 2', ...]}  # driver operands
+
+    Dense fields are passed as raw float/double pointers (the driver
+    hands the NumPy arrays straight to ctypes), every scalar as a
+    ``double`` (weak-scalar semantics keep pure-scalar math in double —
+    see :class:`~repro.symbolics.CExecPrinter`), and modulo time-buffer
+    indices as ``int``.  Loop bounds, strides and halo offsets are baked
+    per rank; the decomposition is part of the build fingerprint.
+    """
+    grid = schedule.grid
+    dist = grid.distributor
+    if dtype is None:
+        dtype = grid.dtype
+    import numpy as np
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError("compiled backend supports float32/float64 "
+                         "grids, not %s" % dtype)
+    for cl in schedule.clusters:
+        for f in cl.functions:
+            if np.dtype(f.dtype) != dtype:
+                raise ValueError(
+                    "compiled backend needs a uniform kernel dtype; "
+                    "%s is %s on a %s grid"
+                    % (f.name, np.dtype(f.dtype), dtype))
+    single = dtype == np.dtype(np.float32)
+    ctype = 'float' if single else 'double'
+    tvars = _time_var_names(schedule)
+    scalar_kinds = _scalar_assignment_kinds(schedule)
+
+    em = _CEmitter()
+    em.emit('/* repro compiled backend: one function per compute step; '
+            'strict IEEE */')
+    em.emit('#include <math.h>')
+    em.emit()
+
+    steps = {}
+    for sid, step in enumerate(schedule.steps):
+        if not step.is_compute:
+            continue
+        boxes = _step_boxes(step, dist)
+        if not boxes:
+            continue
+        cluster = step.cluster
+        dims = cluster.grid.dimensions
+        name = 'step%d' % sid
+        funcs = sorted(cluster.functions, key=lambda f: f.name)
+        temps = [t.name for t, _ in cluster.temps]
+        scalars = set()
+        for _, rhs in cluster.temps:
+            scalars |= _free_scalars(rhs, temps)
+        for eq in cluster.eqs:
+            scalars |= _free_scalars(eq.rhs, temps)
+        scalars = sorted(scalars)
+
+        used_tvars = set()
+        printer = CExecPrinter(
+            _flat_index_printer(tvars, used_tvars), dtype=str(dtype),
+            symbol_kinds={s: scalar_kinds.get(s, 'w') for s in scalars})
+        body_lines = []
+        for temp, rhs in cluster.temps:
+            text, kind = printer.doprint_kinded(rhs)
+            decl = ctype if kind == 'A' else 'double'
+            body_lines.append('const %s %s = %s;' % (decl, temp.name,
+                                                     text))
+            printer.symbol_kinds[temp.name] = kind if kind != 's' else 's'
+        for eq in cluster.eqs:
+            lhs_text = printer.doprint(eq.lhs)
+            body_lines.append('%s = %s;' % (lhs_text,
+                                            printer.doprint(eq.rhs)))
+
+        targs = sorted(used_tvars, key=lambda k: tvars[k])
+        args = ['%s *restrict %s' % (ctype, f.name) for f in funcs]
+        args += ['const double %s' % s for s in scalars]
+        args += ['const int %s' % tvars[k] for k in targs]
+        em.open_block('void %s(%s)' % (name, ', '.join(args)))
+        if step.region != 'domain':
+            em.emit('/* %s region */' % step.region.upper())
+        for box in boxes:
+            _emit_blocked_nest(em, dims, box,
+                               lambda: [em.emit(ln) for ln in body_lines])
+        em.close_block()
+        em.emit()
+
+        sig = ['p%d' % len(_layout(f)[0]) for f in funcs]
+        sig += ['d'] * len(scalars) + ['i'] * len(targs)
+        call = [f.name for f in funcs] + list(scalars)
+        call += ['(time + %d) %% %d' % (shift, nb) for shift, nb in targs]
+        steps[sid] = {'name': name, 'sig': sig, 'call': call}
+
+    return em.source(), steps

@@ -1,0 +1,272 @@
+"""The C toolchain bridge: compile generated C and load it in-process.
+
+This is the machinery behind ``backend='c'``: discover a working C
+compiler (honoring ``$CC`` first, exactly so CI can mask the toolchain
+with ``CC=/nonexistent`` to prove the fallback path), compile one
+translation unit of per-step kernel functions into a shared object,
+``dlopen`` it with :mod:`ctypes`, and bind argument types so the driver
+can pass NumPy arrays (pointer + baked strides), Python floats
+(``double``) and modulo time indices (``int``) directly.
+
+Design points:
+
+* **ctypes over cffi** — ctypes is stdlib (no extra dependency inside
+  the generated-code path) and releases the GIL for the duration of a
+  compiled step, so thread-per-rank SPMD runs and service workers
+  overlap compute for real.  cffi availability is still reported by
+  ``repro doctor`` for the curious.
+* **Strict IEEE flags** — ``-ffp-contract=off`` and no fast-math, so a
+  compiled step performs the same IEEE single/double operations as the
+  vectorized NumPy backend and the two can agree bitwise.
+* **Graceful fallback** — :func:`resolve_backend` demotes ``'c'`` to
+  ``'numpy'`` with a visible :class:`ToolchainWarning` when no compiler
+  exists; nothing in the pipeline hard-requires a toolchain.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+
+import numpy as np
+
+__all__ = ['JITError', 'ToolchainWarning', 'find_compiler',
+           'compiler_version', 'cffi_available', 'resolve_backend',
+           'compile_shared', 'load_steps', 'file_checksum',
+           'toolchain_report']
+
+#: compilers probed (in order) when ``$CC`` is not set
+_DEFAULT_COMPILERS = ('cc', 'gcc', 'clang')
+
+#: flags shared by every kernel compile; -ffp-contract=off keeps FMA
+#: from fusing a*b+c (NumPy performs the rounding step, so must we)
+CFLAGS = ('-O3', '-fPIC', '-shared', '-ffp-contract=off', '-fno-builtin')
+
+
+class JITError(RuntimeError):
+    """The C toolchain failed (missing compiler, compile error, bad
+    shared object)."""
+
+
+class ToolchainWarning(UserWarning):
+    """Emitted when ``backend='c'`` silently degrades to NumPy."""
+
+
+def _which(cmd):
+    # an absolute/relative $CC must exist as given; bare names resolve
+    # through PATH
+    if os.path.sep in cmd:
+        return cmd if os.access(cmd, os.X_OK) else None
+    return shutil.which(cmd)
+
+
+def find_compiler(env=None):
+    """Path of a usable C compiler, or None.
+
+    ``$CC`` wins when set — including when it points nowhere, which is
+    deliberate: exporting ``CC=/nonexistent`` is the supported way to
+    mask the toolchain (the CI fallback leg relies on it).
+    """
+    env = os.environ if env is None else env
+    cc = env.get('CC')
+    if cc is not None:
+        cc = cc.strip()
+        return _which(cc) if cc else None
+    for cand in _DEFAULT_COMPILERS:
+        path = _which(cand)
+        if path is not None:
+            return path
+    return None
+
+
+def compiler_version(cc):
+    """First line of ``cc --version`` (or None on any failure)."""
+    if not cc:
+        return None
+    try:
+        out = subprocess.run([cc, '--version'], capture_output=True,
+                             text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0 or not out.stdout:
+        return None
+    return out.stdout.splitlines()[0].strip()
+
+
+def cffi_available():
+    """Whether cffi is importable (informational; ctypes is used)."""
+    try:
+        import cffi  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def resolve_backend(requested, env=None, warn=True):
+    """Map a requested backend to the effective one.
+
+    ``'c'`` stays ``'c'`` only when a compiler exists; otherwise the
+    build degrades to ``'numpy'`` with a :class:`ToolchainWarning`.
+    The *effective* backend is what joins the build fingerprint — a
+    toolchain-less host must never rehydrate a compiled artifact.
+    """
+    if requested in (None, False, 'numpy', 'py'):
+        return 'numpy'
+    if requested != 'c':
+        raise ValueError("unknown backend %r; accepted: 'numpy', 'c'"
+                         % (requested,))
+    if find_compiler(env=env) is not None:
+        return 'c'
+    if warn:
+        warnings.warn(
+            "backend='c' requested but no C toolchain was found "
+            "(checked $CC, then cc/gcc/clang on PATH); falling back to "
+            "the NumPy backend. Run 'repro doctor' for details.",
+            ToolchainWarning, stacklevel=3)
+    return 'numpy'
+
+
+def file_checksum(path):
+    """BLAKE2b-128 of a file's bytes (the artifact's tamper seal)."""
+    h = hashlib.blake2b(digest_size=16)
+    with open(path, 'rb') as f:
+        for chunk in iter(lambda: f.read(1 << 20), b''):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+_workdir = None
+
+
+def _get_workdir():
+    """Per-process scratch directory for compiled objects."""
+    global _workdir
+    if _workdir is None or not os.path.isdir(_workdir):
+        _workdir = tempfile.mkdtemp(prefix='repro-jit-')
+    return _workdir
+
+
+def compile_shared(source, cc=None, name=None, workdir=None):
+    """Compile C ``source`` into a shared object; returns its path.
+
+    Objects are content-addressed (``k_<blake2b(source)>.so``) inside a
+    per-process scratch directory, so recompiling identical source —
+    e.g. the same rank geometry across SPMD threads — is free.
+    """
+    if cc is None:
+        cc = find_compiler()
+    if cc is None:
+        raise JITError("no C compiler available (set $CC or install cc/"
+                       "gcc/clang)")
+    if workdir is None:
+        workdir = _get_workdir()
+    digest = hashlib.blake2b(source.encode('utf-8'),
+                             digest_size=12).hexdigest()
+    base = name or 'k_%s' % digest
+    so_path = os.path.join(workdir, '%s_%s.so' % (base, digest))
+    if os.path.exists(so_path):
+        return so_path
+    # thread-unique scratch names: SPMD ranks are threads of one
+    # process, and equal-geometry ranks compile byte-identical source
+    # concurrently — a shared .c would be rewritten under a running
+    # compiler (truncated reads), so each thread compiles its private
+    # copy and only the final .so publish is shared (atomic)
+    unique = '%d.%d' % (os.getpid(), threading.get_ident())
+    c_path = os.path.join(workdir, '%s_%s.%s.c' % (base, digest, unique))
+    with open(c_path, 'w', encoding='utf-8') as f:
+        f.write(source)
+    tmp_so = so_path + '.tmp' + unique
+    cmd = [cc, *CFLAGS, '-march=native', c_path, '-o', tmp_so, '-lm']
+    try:
+        run = subprocess.run(cmd, capture_output=True, text=True,
+                             timeout=300)
+        if run.returncode != 0:
+            # -march=native is a best-effort flag; retry portable
+            cmd = [cc, *CFLAGS, c_path, '-o', tmp_so, '-lm']
+            run = subprocess.run(cmd, capture_output=True, text=True,
+                                 timeout=300)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        raise JITError("C compiler failed to run: %s" % (e,)) from None
+    if run.returncode != 0:
+        raise JITError("C compilation failed (%s):\n%s"
+                       % (' '.join(cmd), run.stderr.strip()))
+    os.replace(tmp_so, so_path)  # atomic publish (SPMD threads race here)
+    return so_path
+
+
+def _argtype(spec, dtype):
+    """One ctypes argtype from a signature code.
+
+    Codes: ``p<ndim>`` — pointer to a C-contiguous ndarray of the
+    kernel dtype; ``d`` — double scalar; ``i`` — int (time index).
+    """
+    if spec.startswith('p'):
+        return np.ctypeslib.ndpointer(dtype=dtype, ndim=int(spec[1:]),
+                                      flags='C_CONTIGUOUS')
+    if spec == 'd':
+        return ctypes.c_double
+    if spec == 'i':
+        return ctypes.c_int
+    raise JITError("unknown argument code %r in step signature" % (spec,))
+
+
+def load_steps(so_path, signatures, dtype):
+    """dlopen a compiled kernel and bind each step's argument types.
+
+    ``signatures`` maps C function name -> list of argument codes (see
+    :func:`_argtype`).  Returns ``(lib, funcs)`` where ``funcs`` maps
+    name -> ready-to-call ctypes function (this is the ``__C`` namespace
+    the generated driver indexes into).
+    """
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError as e:
+        raise JITError("cannot load %s: %s" % (so_path, e)) from None
+    funcs = {}
+    for fname, argspecs in signatures.items():
+        try:
+            fn = getattr(lib, fname)
+        except AttributeError:
+            raise JITError("compiled object %s lacks symbol %r"
+                           % (so_path, fname)) from None
+        fn.restype = None
+        fn.argtypes = [_argtype(s, dtype) for s in argspecs]
+        funcs[fname] = fn
+    return lib, funcs
+
+
+def toolchain_report(env=None):
+    """Everything ``repro doctor`` wants to know, as a dict."""
+    cc = find_compiler(env=env)
+    report = {
+        'cc_env': (os.environ if env is None else env).get('CC'),
+        'compiler': cc,
+        'compiler_version': compiler_version(cc),
+        'cffi': cffi_available(),
+        'workdir': _workdir,
+    }
+    smoke = None
+    if cc is not None:
+        try:
+            so = compile_shared(
+                'void __repro_smoke(double *x) { x[0] = x[0] * 2.0; }\n',
+                cc=cc, name='smoke')
+            lib = ctypes.CDLL(so)
+            fn = lib.__repro_smoke
+            fn.restype = None
+            fn.argtypes = [ctypes.POINTER(ctypes.c_double)]
+            val = ctypes.c_double(21.0)
+            fn(ctypes.byref(val))
+            smoke = 'ok' if val.value == 42.0 else \
+                'bad result %r' % val.value
+        except (JITError, OSError) as e:
+            smoke = 'failed: %s' % (e,)
+    report['smoke'] = smoke
+    report['backend_c_usable'] = smoke == 'ok'
+    return report

@@ -34,7 +34,9 @@ class PyKernel:
     """A compiled kernel plus everything needed to invoke it."""
 
     def __init__(self, source, func, exchangers, sparse_plans, schedule,
-                 profiler=None, step_lines=None, sanitizer=None):
+                 profiler=None, step_lines=None, sanitizer=None,
+                 backend='numpy', c_source=None, so_path=None,
+                 so_checksum=None, c_steps=None, lib=None):
         self.source = source
         self.func = func
         self.exchangers = exchangers
@@ -46,6 +48,17 @@ class PyKernel:
         self.step_lines = dict(step_lines or {})
         #: the HaloSanitizer when compiled in sanitizer mode, else None
         self.sanitizer = sanitizer
+        #: 'numpy', or 'c' when the compute steps run as compiled C
+        self.backend = backend
+        #: the executable C translation unit ('c' backend only)
+        self.c_source = c_source
+        #: compiled shared object (path + BLAKE2b tamper seal)
+        self.so_path = so_path
+        self.so_checksum = so_checksum
+        #: step metadata: {sid: {'name', 'sig', 'call'}} ('c' only)
+        self.c_steps = c_steps
+        #: the loaded ctypes library (keeps the dlopen handle alive)
+        self.lib = lib
 
     def __call__(self, time_m, time_M, arrays, params, comm, timer=None,
                  resilience=None):
@@ -144,7 +157,7 @@ class _SparsePrinter(PyPrinter):
 
 
 def generate_kernel(schedule, progress=False, profiler=None,
-                    sanitizer=False):
+                    sanitizer=False, backend='numpy'):
     """Generate, compile and wrap the Python kernel for ``schedule``.
 
     When ``profiler`` is enabled (profiling level ``basic``/``advanced``),
@@ -158,6 +171,14 @@ def generate_kernel(schedule, progress=False, profiler=None,
     written buffer is scanned after each writing step
     (:mod:`repro.analysis.sanitizer`).  Like the profiling calls, the
     hooks are *compiled out* entirely when disabled.
+
+    With ``backend='c'`` the compute steps are emitted as C
+    (:func:`~repro.codegen.cgen.generate_c_steps`), compiled into a
+    shared object and called through ctypes; everything else — halo
+    exchanges, sparse steps, profiling, sanitizer, resilience hooks —
+    stays in the generated Python driver, byte-for-byte identical to
+    the NumPy backend's.  Unsupported grids (dtype outside
+    float32/float64) degrade to NumPy with a visible warning.
     """
     grid = schedule.grid
     dist = grid.distributor
@@ -172,6 +193,25 @@ def generate_kernel(schedule, progress=False, profiler=None,
         if not san.enabled:
             san = None
     preamble_names, step_names = assign_section_names(schedule)
+
+    c_source = c_meta = c_funcs = so_path = so_checksum = lib = None
+    if backend == 'c':
+        from . import jit
+        from .cgen import generate_c_steps
+        try:
+            c_source, c_meta = generate_c_steps(schedule)
+            so_path = jit.compile_shared(c_source)
+            so_checksum = jit.file_checksum(so_path)
+            lib, c_funcs = jit.load_steps(
+                so_path, {m['name']: m['sig'] for m in c_meta.values()},
+                grid.dtype)
+        except (ValueError, jit.JITError) as e:
+            import warnings
+            warnings.warn("compiled backend unavailable for this build "
+                          "(%s); falling back to the NumPy backend"
+                          % (e,), jit.ToolchainWarning, stacklevel=2)
+            backend = 'numpy'
+            c_source = c_meta = so_path = so_checksum = lib = None
 
     em = _Emitter()
     em.emit('def __kernel(time_m, time_M, __A, __P, __EX, __SP, __comm, '
@@ -305,8 +345,17 @@ def generate_kernel(schedule, progress=False, profiler=None,
                     grid.dtype.itemsize)))
             if boxes:
                 sec_begin()
-                for box in boxes:
-                    _emit_cluster(em, step.cluster, box)
+                if backend == 'c' and sid in c_meta:
+                    meta = c_meta[sid]
+                    em.emit('# compiled %s over %s' % (
+                        meta['name'],
+                        ' + '.join(' x '.join('[%d:%d)' % b for b in box)
+                                   for box in boxes)))
+                    em.emit("__C['%s'](%s)" % (meta['name'],
+                                               ', '.join(meta['call'])))
+                else:
+                    for box in boxes:
+                        _emit_cluster(em, step.cluster, box)
                 sec_end(sname)
                 if san is not None:
                     san.register_writes(sname,
@@ -338,11 +387,15 @@ def generate_kernel(schedule, progress=False, profiler=None,
     namespace = {}
     if san is not None:
         namespace['__SAN'] = san
+    if c_funcs is not None:
+        namespace['__C'] = c_funcs
     code = compile(source, '<repro-jit-kernel>', 'exec')
     exec(code, namespace)  # noqa: S102 - this is the JIT compiler
     return PyKernel(source, namespace['__kernel'], exchangers, sparse_plans,
                     schedule, profiler=profiler, step_lines=step_lines,
-                    sanitizer=san)
+                    sanitizer=san, backend=backend, c_source=c_source,
+                    so_path=so_path, so_checksum=so_checksum,
+                    c_steps=c_meta, lib=lib)
 
 
 def _box_volume(box):

@@ -94,11 +94,21 @@ class Operator:
         scheduling, codegen and — when gated — verification) is skipped
         and the kernel is rehydrated from the cached artifact; the
         result is bitwise-identical to a cold build.
+    backend : str or None
+        Execution backend for the compute steps: ``'numpy'`` (default,
+        vectorized whole-array expressions) or ``'c'`` (generate C,
+        compile it with the system toolchain and call the cache-blocked
+        loop nests through ctypes).  Defaults to
+        ``configuration['backend']`` (env ``REPRO_BACKEND``).  When no
+        C compiler is available the build degrades to NumPy with a
+        :class:`~repro.codegen.jit.ToolchainWarning`; halo exchanges,
+        sparse steps and instrumentation always stay in the Python
+        driver, so every comm mode works identically on both backends.
     """
 
     def __init__(self, expressions, name='Kernel', opt=True, mpi=None,
                  progress=False, profiling=None, sanitizer=None,
-                 cache=None):
+                 cache=None, backend=None):
         self.name = name
         self._expressions = expressions
         self._opt = opt
@@ -129,6 +139,12 @@ class Operator:
         self.analysis = None
         self._cache_info = {'status': 'off', 'key': None, 'tier': None,
                             'saved_seconds': 0.0, 'nbytes': 0}
+        #: the *effective* execution backend ('numpy' or 'c') — resolved
+        #: before fingerprinting so a toolchain-less host never keys
+        #: into (or stores) compiled artifacts
+        from ..codegen import jit
+        self.backend = jit.resolve_backend(
+            backend if backend is not None else configuration['backend'])
 
         from ..buildcache import fingerprint_build, get_cache
         bcache = get_cache(cache)
@@ -139,7 +155,9 @@ class Operator:
                     expressions, mpi_mode=self._mpi_requested, opt=opt,
                     verify=self._verify, sanitizer=self._sanitize,
                     instrument=self.profiler.enabled,
-                    progress=self._progress)
+                    progress=self._progress,
+                    backend='py' if self.backend == 'numpy' else
+                    self.backend)
             except TypeError:
                 # inputs outside the token grammar: build cold, always
                 self._cache_info['status'] = 'uncacheable'
@@ -174,7 +192,12 @@ class Operator:
             if low == 'poison':
                 return True
         from ..parameters import _as_bool
-        return _as_bool(value)
+        try:
+            return _as_bool(value)
+        except ValueError:
+            raise ValueError(
+                "sanitizer= expects 'poison', 'reconcile' or a "
+                "boolean-like value, got %r" % (value,)) from None
 
     def _cold_build(self, expressions, opt):
         """The full pipeline: lower, schedule, codegen, (verify), bind."""
@@ -186,7 +209,12 @@ class Operator:
         self.kernel = generate_kernel(self._schedule,
                                       progress=self._progress,
                                       profiler=self.profiler,
-                                      sanitizer=self._sanitize is True)
+                                      sanitizer=self._sanitize is True,
+                                      backend=self.backend)
+        # generate_kernel may itself degrade (e.g. unsupported dtype);
+        # reflect what actually runs.  dtype is in the fingerprint, so
+        # the demotion is deterministic per cache key.
+        self.backend = self.kernel.backend
         from ..analysis.certificate import build_certificate
         self.certificate = build_certificate(self._schedule)
         if self._verify:
@@ -221,6 +249,7 @@ class Operator:
             bcache.note_miss(nerrors=1)
             return False
         self.kernel = kernel
+        self.backend = getattr(kernel, 'backend', 'numpy')
         self.grid = functions[0].grid
         self.mpi_mode = p['mpi_mode']
         self._warm_functions = functions

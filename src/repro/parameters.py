@@ -103,6 +103,16 @@ class Configuration(MutableMapping):
                         'certificate against the commlog send ledger '
                         'after every apply'))
         self.register(Parameter(
+            'backend', default='numpy', env='REPRO_BACKEND',
+            accepted=('numpy', 'c'),
+            converter=self._convert_backend,
+            description='execution backend of compute steps: numpy '
+                        '(vectorized whole-array expressions) or c '
+                        '(compile generated C with the system toolchain '
+                        'and call cache-blocked loop nests via ctypes; '
+                        'degrades to numpy with a ToolchainWarning when '
+                        'no compiler is found)'))
+        self.register(Parameter(
             'profiling', default='basic', env='REPRO_PROFILING',
             accepted=PROFILING_LEVELS,
             description='instrumentation level of generated kernels'))
@@ -263,7 +273,24 @@ class Configuration(MutableMapping):
                 return 'reconcile'
             if low == 'poison':
                 return True
-        return _as_bool(value)
+        try:
+            return _as_bool(value)
+        except ValueError:
+            # not a boolean switch: name the modes, not just bools
+            raise ValueError(
+                "expected 'poison', 'reconcile' or a boolean-like "
+                "value, got %r" % (value,)) from None
+
+    @staticmethod
+    def _convert_backend(value):
+        # 'py' is accepted as an alias of 'numpy' (it is the token the
+        # build fingerprint has always used for the NumPy backend)
+        if isinstance(value, str):
+            low = value.strip().lower()
+            return 'numpy' if low == 'py' else low
+        if value is False or value is None:
+            return 'numpy'
+        return value
 
     @staticmethod
     def _convert_cache(value):

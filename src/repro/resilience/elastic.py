@@ -210,7 +210,9 @@ def _rebuild_kernel(op):
             key, symtab = fingerprint_build(
                 op._expressions, mpi_mode=op._mpi_requested, opt=op._opt,
                 verify=op._verify, sanitizer=op._sanitize,
-                instrument=op.profiler.enabled, progress=op._progress)
+                instrument=op.profiler.enabled, progress=op._progress,
+                backend='py' if getattr(op, 'backend', 'numpy')
+                == 'numpy' else op.backend)
         except TypeError:
             key = None
     if key is not None:
@@ -227,7 +229,8 @@ def _rebuild_kernel(op):
     tic = _time.perf_counter()
     op.kernel = generate_kernel(op.schedule, progress=op._progress,
                                 profiler=op.profiler,
-                                sanitizer=op._sanitize)
+                                sanitizer=op._sanitize,
+                                backend=getattr(op, 'backend', 'numpy'))
     if key is not None:
         bcache.note_miss()
         try:

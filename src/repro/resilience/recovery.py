@@ -122,7 +122,8 @@ def perform_shrink(op, comm, checkpointer):
     # decomposition: the kernel must be regenerated
     from ..codegen.pybackend import generate_kernel
     op.kernel = generate_kernel(op.schedule, progress=op._progress,
-                                profiler=op.profiler)
+                                profiler=op.profiler,
+                                backend=getattr(op, 'backend', 'numpy'))
     op._bind_sparse_plans()
 
     nbytes = repartition_restore(checkpointer, step, manifest,

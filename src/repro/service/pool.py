@@ -133,7 +133,13 @@ class OperatorPool:
         :meth:`checkin`.  ``faults``/``disarmed`` arm the job's fault
         plan on the instance's private world.
         """
-        key = spec.structure_key()
+        # the effective execution backend joins the pooling key: a
+        # pooled instance compiled for one backend must never serve a
+        # job after configuration['backend'] changed under it
+        from .. import configuration
+        from ..codegen import jit
+        key = (spec.structure_key(),
+               jit.resolve_backend(configuration['backend'], warn=False))
         with self._lock:
             self.stats['checkouts'] += 1
             idle = self._idle.get(key)

@@ -37,7 +37,8 @@ from .derivative import (Derivative, expand_derivatives, expr_stagger,
 from .solve import solve
 from .rewriting import (Temp, collect_mul_coeff, cse, factorize,
                         hoist_invariants)
-from .printing import CPrinter, PyPrinter, ccode, pycode
+from .printing import (CExecPrinter, CPrinter, PyPrinter,
+                       ccode, pycode)
 from .hashing import (TokenEmitter, canonical_tokens,
                       structural_fingerprint)
 
@@ -61,7 +62,7 @@ __all__ = [  # noqa: F405
     'solve', 'Temp', 'collect_mul_coeff', 'cse', 'factorize',
     'hoist_invariants',
     # printing
-    'CPrinter', 'PyPrinter', 'ccode', 'pycode',
+    'CPrinter', 'CExecPrinter', 'PyPrinter', 'ccode', 'pycode',
     # fingerprints
     'TokenEmitter', 'canonical_tokens', 'structural_fingerprint',
 ]

@@ -14,7 +14,7 @@ from .expr import (Add, Expr, Float, Integer, Mul, Pow, Rational, S,
                    Symbol, preorder)
 from .functions import FUNCTION_REGISTRY, AppliedFunction
 
-__all__ = ['ccode', 'pycode', 'CPrinter', 'PyPrinter']
+__all__ = ['ccode', 'pycode', 'CPrinter', 'PyPrinter', 'CExecPrinter']
 
 
 class _PrinterBase:
@@ -217,6 +217,208 @@ class PyPrinter(_PrinterBase):
             idx = ', '.join(self._print(i) for i in expr.indices)
             return '%s[%s]' % (expr.base.name, idx)
         return self.index_printer(self, expr)
+
+
+class CExecPrinter(_PrinterBase):
+    """C printer for the *executable* backend: mirrors NumPy NEP-50.
+
+    The NumPy backend evaluates the printed Python expression with
+    weak-scalar semantics: pure-scalar subexpressions run in double
+    precision (Python floats) and are rounded to ``float32`` exactly
+    when they first meet a ``float32`` array operand, one binary
+    operation at a time, left-associatively.  ``np.*`` calls on scalars
+    return *strong* ``np.float64``, which instead promotes the whole
+    elementwise computation to double.
+
+    This printer reproduces those rules so the compiled step performs
+    the same IEEE operations in the same order.  Every printed
+    subexpression carries a *kind*:
+
+    - ``'w'`` — weak scalar (Python float/int): a C ``double``
+    - ``'s'`` — strong scalar (``np.float64``): a C ``double``
+    - ``'A'`` — array element of the kernel dtype
+    - ``'D'`` — promoted double array element (only for float32
+      kernels, after a strong scalar touched the expression)
+
+    and the one non-trivial C rule is that a weak scalar meeting a
+    ``float32`` array operand is cast with ``(float)(...)`` — C would
+    otherwise promote the array side to double.  All other promotions
+    (``float`` op ``double`` -> ``double``) match NumPy natively.
+
+    ``index_printer(printer, indexed) -> text`` renders array accesses
+    (the codegen backend owns the flattened-stride layout);
+    ``symbol_kinds`` maps scalar names to ``'w'``/``'s'``/``'A'``
+    (defaulting to weak — runtime parameters are Python floats).
+    """
+
+    def __init__(self, index_printer, dtype='float32', symbol_kinds=None):
+        if dtype not in ('float32', 'float64'):
+            raise ValueError("CExecPrinter supports float32/float64 "
+                             "kernels, not %r" % (dtype,))
+        self.index_printer = index_printer
+        self.single = dtype == 'float32'
+        self.symbol_kinds = dict(symbol_kinds or {})
+
+    # -- public API ---------------------------------------------------------------
+
+    def doprint(self, expr):
+        return self.doprint_kinded(expr)[0]
+
+    def doprint_kinded(self, expr):
+        """``(text, kind)`` of the rendered expression."""
+        return self._printk(S(expr))
+
+    # -- the kind lattice ---------------------------------------------------------
+
+    def _combine(self, ltext, lk, rtext, rk, op):
+        """Fold one binary ``op``; casts the weak side when NumPy would."""
+        scalars = {'w', 's'}
+        if lk in scalars and rk in scalars:
+            kind = 's' if 's' in (lk, rk) else 'w'
+        elif self.single and lk == 'w' and rk == 'A':
+            ltext, kind = self._cast(ltext), 'A'
+        elif self.single and rk == 'w' and lk == 'A':
+            rtext, kind = self._cast(rtext), 'A'
+        elif 'D' in (lk, rk) or (self.single and 's' in (lk, rk)):
+            kind = 'D'
+        else:
+            kind = 'A'
+        if op in '+-':
+            return '%s %s %s' % (ltext, op, rtext), kind
+        return '%s%s%s' % (ltext, op, rtext), kind
+
+    def _cast(self, text):
+        if _is_atom_text(text):
+            return '(float)' + text
+        return '(float)(%s)' % text
+
+    # -- kind-aware node printing ----------------------------------------------------
+
+    def _printk(self, expr):
+        if expr.is_Add:
+            return self._printk_add(expr)
+        if expr.is_Mul:
+            return self._printk_mul(expr)
+        if expr.is_Pow:
+            return self._printk_pow(expr)
+        if isinstance(expr, Integer):
+            return str(expr.value), 'w'
+        if isinstance(expr, (Rational, Float)):
+            return self._double_literal(float(expr.value)), 'w'
+        if expr.is_Indexed:
+            return self.index_printer(self, expr), 'A'
+        if isinstance(expr, AppliedFunction):
+            return self._printk_function(expr)
+        if expr.is_Symbol:
+            return expr.name, self.symbol_kinds.get(expr.name, 'w')
+        if getattr(expr, 'is_DiscreteFunction', False):
+            return self._printk(expr.indexify())
+        raise TypeError("cannot print %r" % (expr,))
+
+    @staticmethod
+    def _double_literal(value):
+        if value == int(value):
+            return '%.1f' % value
+        return repr(value)
+
+    def _printk_add(self, expr):
+        text, kind = self._printk(expr.args[0])
+        for arg in expr.args[1:]:
+            t, k = self._printk(arg)
+            op = '+'
+            if t.startswith('-'):
+                op, t = '-', t[1:]
+            text, kind = self._combine(text, kind, t, k, op)
+        return text, kind
+
+    def _printk_operand(self, arg):
+        """A Mul/Pow operand, parenthesized like the base printer."""
+        text, kind = self._printk(arg)
+        if arg.is_Add or text.startswith('-'):
+            return '(%s)' % text, kind
+        return text, kind
+
+    def _printk_mul(self, expr):
+        args = list(expr.args)
+        negate = False
+        if args and isinstance(args[0], Integer) and args[0].value == -1:
+            args.pop(0)
+            negate = True
+        num, den = [], []
+        for arg in args:
+            if arg.is_Pow and isinstance(arg.exp, (Integer, Rational)) \
+                    and arg.exp.value < 0:
+                den.append(self._printk_pow_positive(arg.base,
+                                                     -arg.exp.value))
+            else:
+                num.append(self._printk_operand(arg))
+        if not num:
+            num = [(self._double_literal(1.0), 'w')]
+        text, kind = num[0]
+        for t, k in num[1:]:
+            text, kind = self._combine(text, kind, t, k, '*')
+        for t, k in den:
+            if not _is_atom_text(t):
+                t = '(%s)' % t
+            text, kind = self._combine(text, kind, t, k, '/')
+        if negate:
+            # exact sign flip: -(a*b) and (-a)*b are bitwise identical
+            text = '-' + text
+        return text, kind
+
+    def _printk_pow_positive(self, base, expval):
+        frac = Fraction(expval)
+        btext, bkind = self._printk_operand(base)
+        if base.is_Mul or base.is_Pow:
+            btext = '(%s)' % self._printk(base)[0]
+        if frac == 1:
+            return btext, bkind
+        if frac.denominator == 1 and 2 <= frac.numerator <= 3:
+            text, kind = btext, bkind
+            for _ in range(int(frac.numerator) - 1):
+                text, kind = self._combine(text, kind, btext, bkind, '*')
+            return text, kind
+        if frac == Fraction(1, 2):
+            return self._call_math('sqrt', [(btext, bkind)])
+        return self._call_math('pow', [(btext, bkind),
+                                       (self._double_literal(float(frac)),
+                                        'w')])
+
+    def _printk_pow(self, expr):
+        base, exp = expr.base, expr.exp
+        if isinstance(exp, (Integer, Rational, Float)):
+            if exp.value > 0:
+                return self._printk_pow_positive(base, exp.value)
+            itext, ikind = self._printk_pow_positive(base, -exp.value)
+            if not _is_atom_text(itext):
+                itext = '(%s)' % itext
+            return self._combine(self._double_literal(1.0), 'w',
+                                 itext, ikind, '/')
+        return self._call_math('pow', [self._printk_operand(base),
+                                       self._printk_operand(exp)])
+
+    def _printk_function(self, expr):
+        cname, _ = FUNCTION_REGISTRY[expr.fname]
+        return self._call_math(cname.rstrip('f') if cname.endswith('f')
+                               else cname,
+                               [self._printk(a) for a in expr.args])
+
+    def _call_math(self, stem, args):
+        """A libm call; float variant iff every operand is float32.
+
+        Matches NumPy: ``np.sqrt`` on a float32 array stays float32
+        (``sqrtf``); on anything scalar it returns a *strong* float64,
+        so the double variant is used and the result kind is ``'s'`` /
+        ``'D'``.
+        """
+        kinds = [k for _, k in args]
+        if self.single and all(k == 'A' for k in kinds):
+            name, kind = stem + 'f', 'A'
+        elif any(k in ('A', 'D') for k in kinds):
+            name, kind = stem, 'A' if not self.single else 'D'
+        else:
+            name, kind = stem, 's'
+        return ('%s(%s)' % (name, ', '.join(t for t, _ in args)), kind)
 
 
 def ccode(expr):

@@ -1,0 +1,371 @@
+"""The compiled C execution backend: equivalence, fallback, caching.
+
+The contract under test: ``backend='c'`` changes *how* compute steps
+execute (cache-blocked C loop nests called through ctypes) and nothing
+else — results are bitwise-identical to the NumPy backend in every
+communication mode, every comm certificate reconciles the same, a host
+without a toolchain degrades to NumPy with a visible warning, and a
+cached compiled artifact whose shared object was deleted or tampered
+with demotes to a cold rebuild instead of crashing or running stale
+code.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import (Eq, Grid, Operator, TimeFunction, configuration,
+                   solve)
+from repro.buildcache import BuildCache
+from repro.codegen import jit
+from repro.codegen.cgen import generate_c_steps
+from repro.ir.schedule import build_schedule, plan_blocking
+from repro.mpi import run_parallel
+
+MODES = ('basic', 'diagonal', 'full')
+
+needs_cc = pytest.mark.skipif(jit.find_compiler() is None,
+                              reason='no C toolchain on this host')
+
+
+@pytest.fixture(autouse=True)
+def _no_cache():
+    """Isolate from the ambient build cache; yields the ambient mode so
+    the one test that *wants* it (the CI cold/warm .so round trip) can
+    restore it."""
+    saved = configuration['build_cache']
+    configuration['build_cache'] = 'off'
+    yield saved
+    configuration['build_cache'] = saved
+
+
+def _diffusion(shape=(28, 25), so=4, dtype=None):
+    kwargs = {} if dtype is None else {'dtype': dtype}
+    grid = Grid(shape=shape, extent=tuple(float(s - 1) for s in shape),
+                **kwargs)
+    u = TimeFunction(name='u', grid=grid, space_order=so)
+    rng = np.random.default_rng(42)
+    u.data[0] = rng.standard_normal(shape).astype(u.dtype)
+    eq = Eq(u.dt, u.laplace)
+    return [Eq(u.forward, solve(eq, u.forward))], u
+
+
+# -- backend resolution and fallback ------------------------------------------
+
+
+class TestResolution:
+
+    def test_numpy_aliases(self):
+        for req in (None, False, 'numpy', 'py'):
+            assert jit.resolve_backend(req) == 'numpy'
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            jit.resolve_backend('fortran')
+
+    def test_configuration_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            configuration['backend'] = 'fortran'
+
+    def test_configuration_py_alias(self):
+        saved = configuration['backend']
+        try:
+            configuration['backend'] = 'py'
+            assert configuration['backend'] == 'numpy'
+        finally:
+            configuration['backend'] = saved
+
+    def test_masked_toolchain_falls_back_with_warning(self):
+        env = {'CC': '/nonexistent/compiler'}
+        assert jit.find_compiler(env=env) is None
+        with pytest.warns(jit.ToolchainWarning, match='falling back'):
+            assert jit.resolve_backend('c', env=env) == 'numpy'
+
+    def test_operator_fallback_end_to_end(self, monkeypatch):
+        """CC masked: Operator(backend='c') must warn, run on NumPy and
+        still produce the reference bits."""
+        exprs, u = _diffusion()
+        ref_init = np.array(u.data[0])
+        op = Operator(exprs)
+        op.apply(time_M=5, dt=0.01)
+        ref = u.data.gather()
+
+        monkeypatch.setenv('CC', '/nonexistent/compiler')
+        exprs2, u2 = _diffusion()
+        assert np.array_equal(np.array(u2.data[0]), ref_init)
+        with pytest.warns(jit.ToolchainWarning):
+            op2 = Operator(exprs2, backend='c')
+        assert op2.backend == 'numpy'
+        assert op2.kernel.so_path is None
+        op2.apply(time_M=5, dt=0.01)
+        assert np.array_equal(u2.data.gather(), ref)
+
+    @needs_cc
+    def test_unsupported_dtype_degrades(self):
+        """An int grid cannot go through the C printer: the build warns
+        and lands on NumPy rather than failing."""
+        grid = Grid(shape=(12, 12))
+        u = TimeFunction(name='u', grid=grid, space_order=2,
+                         dtype=np.int32)
+        with pytest.warns(jit.ToolchainWarning, match='unavailable'):
+            op = Operator([Eq(u.forward, u + 1)], backend='c')
+        assert op.backend == 'numpy'
+
+
+# -- serial equivalence -------------------------------------------------------
+
+
+@needs_cc
+class TestSerialEquivalence:
+
+    def test_bitwise_vs_numpy(self):
+        exprs, u = _diffusion()
+        op = Operator(exprs)
+        op.apply(time_M=9, dt=0.01)
+        ref = u.data.gather()
+
+        exprs2, u2 = _diffusion()
+        op2 = Operator(exprs2, backend='c')
+        assert op2.backend == 'c'
+        assert op2.kernel.so_path is not None
+        assert os.path.isfile(op2.kernel.so_path)
+        op2.apply(time_M=9, dt=0.01)
+        assert np.array_equal(u2.data.gather(), ref)
+
+    def test_bitwise_float64(self):
+        exprs, u = _diffusion(dtype=np.float64)
+        op = Operator(exprs)
+        op.apply(time_M=9, dt=0.01)
+        ref = u.data.gather()
+
+        exprs2, u2 = _diffusion(dtype=np.float64)
+        op2 = Operator(exprs2, backend='c')
+        assert op2.backend == 'c'
+        op2.apply(time_M=9, dt=0.01)
+        assert np.array_equal(u2.data.gather(), ref)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        from repro.parameters import Configuration
+        cfg = Configuration(environ={'REPRO_BACKEND': 'c'})
+        assert cfg['backend'] == 'c'
+
+    def test_acoustic_model_bitwise(self):
+        """The full acoustic propagator (sparse source injection,
+        receivers, damping) matches bitwise across backends."""
+        from repro.models import acoustic_setup
+
+        def run(backend):
+            saved = configuration['backend']
+            configuration['backend'] = backend
+            try:
+                solver, _ = acoustic_setup(shape=(36, 36), tn=80.0,
+                                           space_order=4, nbl=6, nrec=4)
+                rec, wf, _ = solver.forward()
+                field = wf.data.gather() if hasattr(wf, 'data') \
+                    else wf[0].data.gather()
+                return field, np.array(rec.data), solver.op.backend
+            finally:
+                configuration['backend'] = saved
+
+        field_np, rec_np, bk_np = run('numpy')
+        field_c, rec_c, bk_c = run('c')
+        assert (bk_np, bk_c) == ('numpy', 'c')
+        assert np.array_equal(field_np, field_c)
+        assert np.array_equal(rec_np, rec_c)
+
+
+# -- distributed equivalence: every comm mode, certificates reconcile ---------
+
+
+@needs_cc
+class TestDistributedEquivalence:
+
+    shape = (22, 19)
+
+    def _job(self, comm, mode, backend, sanitizer=None):
+        grid = Grid(shape=self.shape,
+                    extent=tuple(float(s - 1) for s in self.shape),
+                    comm=comm)
+        u = TimeFunction(name='u', grid=grid, space_order=2)
+        rng = np.random.default_rng(11)
+        u.data[0] = rng.standard_normal(self.shape).astype(np.float32)
+        eq = Eq(u.dt, u.laplace)
+        op = Operator([Eq(u.forward, solve(eq, u.forward))],
+                      mpi=mode if comm is not None else None,
+                      backend=backend, sanitizer=sanitizer)
+        op.apply(time_M=6, dt=0.01)
+        return u.data.gather(), op.backend
+
+    @pytest.mark.parametrize('mode', MODES)
+    def test_mode_matches_serial_numpy(self, mode):
+        ref, _ = self._job(None, 'basic', 'numpy')
+        out = run_parallel(lambda c: self._job(c, mode, 'c'), 4)
+        for field, backend in out:
+            assert backend == 'c'
+            assert np.array_equal(field, ref), mode
+
+    @pytest.mark.parametrize('mode', MODES)
+    def test_certificates_reconcile(self, mode):
+        """The reconcile sanitizer (static certificate vs runtime send
+        ledger) passes identically under the compiled backend: the C
+        steps change compute, never communication."""
+        out = run_parallel(
+            lambda c: self._job(c, mode, 'c', sanitizer='reconcile'), 2)
+        assert all(backend == 'c' for _, backend in out)
+
+
+# -- artifact caching: .so lifecycle ------------------------------------------
+
+
+@needs_cc
+class TestCompiledArtifacts:
+
+    def _run(self, cache):
+        exprs, u = _diffusion(shape=(20, 20), so=2)
+        op = Operator(exprs, backend='c', cache=cache)
+        op.apply(time_M=4, dt=0.01)
+        return u.data.gather(), op
+
+    def test_disk_roundtrip_serves_compiled_hit(self, tmp_path):
+        cache = BuildCache('disk', str(tmp_path))
+        ref, cold = self._run(cache)
+        assert cold.cache_info()['status'] == 'miss'
+        # the .so was copied out of the scratch dir, beside the entry
+        so_dir = os.path.join(str(tmp_path), 'so')
+        assert os.path.isdir(so_dir) and os.listdir(so_dir)
+
+        warm_field, warm = self._run(cache)
+        assert warm.cache_info()['status'] == 'hit'
+        assert warm.backend == 'c'
+        assert warm.kernel.so_path.startswith(so_dir)
+        assert np.array_equal(warm_field, ref)
+
+    def test_deleted_so_demotes_to_cold_rebuild(self, tmp_path):
+        cache = BuildCache('disk', str(tmp_path))
+        ref, _ = self._run(cache)
+        so_dir = os.path.join(str(tmp_path), 'so')
+        for name in os.listdir(so_dir):
+            os.unlink(os.path.join(so_dir, name))
+
+        field, op = self._run(cache)
+        # never a crash, never stale code: cold rebuild, right answer
+        assert op.cache_info()['status'] == 'miss'
+        assert op.backend == 'c'
+        assert np.array_equal(field, ref)
+
+    def test_tampered_so_demotes_to_cold_rebuild(self, tmp_path):
+        cache = BuildCache('disk', str(tmp_path))
+        ref, _ = self._run(cache)
+        so_dir = os.path.join(str(tmp_path), 'so')
+        for name in os.listdir(so_dir):
+            with open(os.path.join(so_dir, name), 'ab') as f:
+                f.write(b'\0corrupted')
+
+        field, op = self._run(cache)
+        assert op.cache_info()['status'] == 'miss'
+        assert op.backend == 'c'
+        assert np.array_equal(field, ref)
+
+    @needs_cc
+    def test_ambient_cache_roundtrip(self, _no_cache):
+        """Build a compiled operator under the *ambient* cache config
+        (cache=None).  Locally that is the memory tier; in the CI
+        ``test`` job (REPRO_CACHE=on) it parks the .so under
+        ``$REPRO_CACHE_DIR/so`` during the cold tier-1 pass and
+        rehydrates it in the warm pass — the cross-process .so cache
+        proof."""
+        configuration['build_cache'] = _no_cache
+        exprs, u = _diffusion(shape=(26, 23), so=2)
+        op = Operator(exprs, backend='c')
+        assert op.backend == 'c'
+        op.apply(time_M=4, dt=0.01)
+        ref = u.data.gather()
+
+        exprs2, u2 = _diffusion(shape=(26, 23), so=2)
+        op2 = Operator(exprs2, backend='c')
+        assert op2.cache_info()['status'] in ('hit', 'off')
+        op2.apply(time_M=4, dt=0.01)
+        assert np.array_equal(u2.data.gather(), ref)
+
+    def test_memory_tier_reuses_dlopen_handle(self):
+        cache = BuildCache('memory')
+        ref, cold = self._run(cache)
+        warm_field, warm = self._run(cache)
+        assert warm.cache_info()['status'] == 'hit'
+        assert warm.backend == 'c'
+        assert np.array_equal(warm_field, ref)
+
+
+# -- the cache-blocking plan --------------------------------------------------
+
+
+class TestBlockingPlan:
+
+    def test_innermost_never_tiled(self):
+        assert plan_blocking([(0, 256), (0, 256)]) == [32, None]
+        assert plan_blocking([(0, 256), (0, 256), (0, 256)]) == \
+            [32, 32, None]
+
+    def test_short_extents_left_whole(self):
+        assert plan_blocking([(0, 48), (0, 256)]) == [None, None]
+        assert plan_blocking([(0, 64), (0, 256)], block=32) == [32, None]
+
+    def test_emitted_source_is_blocked(self):
+        exprs, _ = _diffusion(shape=(128, 128), so=2)
+        schedule = build_schedule(exprs)
+        source, steps = generate_c_steps(schedule)
+        assert steps, 'no compute steps emitted'
+        assert 'xb' in source and '+= 32' in source  # outer dim tiled
+        assert 'yb' not in source                    # innermost streams
+
+
+# -- CLI surface --------------------------------------------------------------
+
+
+class TestCLI:
+
+    def test_doctor_reports_toolchain(self, capsys):
+        from repro.cli import run_doctor
+        status = run_doctor()
+        text = capsys.readouterr().out
+        assert 'compiler' in text
+        assert 'backend' in text
+        if jit.find_compiler() is None:
+            assert status == 0  # informational without --require-c
+
+    def test_doctor_require_c_gates(self, capsys, monkeypatch):
+        from repro.cli import run_doctor
+        monkeypatch.setenv('CC', '/nonexistent/compiler')
+        assert run_doctor(require_c=True) == 1
+        assert 'FAIL' in capsys.readouterr().out
+
+    def test_doctor_json(self, capsys):
+        import json
+        from repro.cli import run_doctor
+        run_doctor(as_json=True)
+        report = json.loads(capsys.readouterr().out)
+        for key in ('compiler', 'cffi', 'backend_effective', 'cache',
+                    'backend_c_usable'):
+            assert key in report
+
+    @needs_cc
+    def test_benchmark_backend_flag(self, capsys):
+        from repro.cli import run_benchmark
+        run_benchmark('acoustic', [32, 32], 40.0, 4, nbl=4,
+                      backend='c', cache='off')
+        text = capsys.readouterr().out
+        assert 'compiled C' in text
+
+    def test_sanitize_help_names_modes(self):
+        """The --sanitize surface must present the mode choices, not a
+        boolean flag."""
+        from repro.cli import _parser
+        helptext = _parser().format_help()
+        assert 'poison' in helptext and 'reconcile' in helptext
+
+    def test_sanitizer_error_names_modes(self):
+        with pytest.raises(ValueError, match="poison.*reconcile"):
+            configuration['sanitizer'] = 'bogus'
+        with pytest.raises(ValueError, match="poison.*reconcile"):
+            Operator._sanitize_mode('bogus')

@@ -263,3 +263,38 @@ def test_asymmetric_widths_fixed_case(mode):
     reference = _run_case(case, 'basic', 1)
     out = _run_case(case, mode, case['ranks'])
     assert np.array_equal(out, reference)
+
+
+# -- the same property through the compiled execution backend ----------------
+
+COMPILED_CASES = CASES[:3]
+
+
+def _toolchain_available():
+    from repro.codegen import jit
+    return jit.find_compiler() is not None
+
+
+@pytest.mark.skipif(not _toolchain_available(),
+                    reason='no C toolchain on this host')
+@pytest.mark.parametrize('case', COMPILED_CASES,
+                         ids=['case%d' % i
+                              for i in range(len(COMPILED_CASES))])
+def test_compiled_backend_preserves_equivalence(case):
+    """Swapping the execution backend is invisible to the cross-mode
+    property: for sampled configurations, compiled cache-blocked C
+    steps produce the same bits as the serial NumPy reference — under
+    every communication pattern (REPRO_BACKEND=c flows through
+    ``configuration`` exactly like the env var would)."""
+    reference = _operator_job(None, case, 'basic')
+    saved = configuration['backend']
+    configuration['backend'] = 'c'
+    try:
+        for mode in MODES:
+            out = run_parallel(
+                lambda c: _operator_job(c, case, mode, cache=False),
+                case['ranks'])
+            for field in out:
+                assert np.array_equal(field, reference), (case, mode)
+    finally:
+        configuration['backend'] = saved
